@@ -1,0 +1,138 @@
+// Command tracegen generates, converts and inspects memory-request traces
+// in this repository's binary trace format.
+//
+// Usage:
+//
+//	tracegen -workload spec -name gcc -n 1000000 -lines 4194304 -o gcc.trace
+//	tracegen -inspect gcc.trace
+//	tracegen -workload bpa -n 100000 -lines 65536 -text -o bpa.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nvmwear"
+	"nvmwear/internal/trace"
+)
+
+func main() {
+	workload := flag.String("workload", "spec", "workload kind: raa|bpa|uniform|sequential|spec")
+	name := flag.String("name", "gcc", "SPEC profile name (workload=spec)")
+	n := flag.Uint64("n", 1<<20, "requests to generate")
+	lines := flag.Uint64("lines", 1<<22, "logical address space in lines")
+	seed := flag.Uint64("seed", 42, "generator seed")
+	out := flag.String("o", "", "output file (default stdout)")
+	text := flag.Bool("text", false, "emit human-readable text instead of binary")
+	inspect := flag.String("inspect", "", "summarize an existing binary trace file instead of generating")
+	flag.Parse()
+
+	if *inspect != "" {
+		if err := inspectTrace(*inspect); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	spec := nvmwear.WorkloadSpec{
+		Kind: nvmwear.WorkloadKind(*workload),
+		Name: *name,
+		Seed: *seed,
+	}
+	stream, label, err := spec.Build(*lines)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "tracegen:", err)
+		os.Exit(1)
+	}
+
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if *text {
+		reqs := make([]trace.Request, 0, *n)
+		for i := uint64(0); i < *n; i++ {
+			reqs = append(reqs, stream.Next())
+		}
+		if err := trace.WriteText(w, reqs); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	} else {
+		tw := trace.NewWriter(w)
+		for i := uint64(0); i < *n; i++ {
+			if err := tw.Write(stream.Next()); err != nil {
+				fmt.Fprintln(os.Stderr, "tracegen:", err)
+				os.Exit(1)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			fmt.Fprintln(os.Stderr, "tracegen:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Fprintf(os.Stderr, "tracegen: wrote %d %s requests\n", *n, label)
+}
+
+// inspectTrace prints summary statistics of a binary trace file.
+func inspectTrace(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := trace.NewReader(f)
+	var reqs, writes uint64
+	minA, maxA := ^uint64(0), uint64(0)
+	unique := make(map[uint64]struct{})
+	const uniqueCap = 1 << 22
+	saturated := false
+	for {
+		req, err := r.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		reqs++
+		if req.Op == trace.Write {
+			writes++
+		}
+		if req.Addr < minA {
+			minA = req.Addr
+		}
+		if req.Addr > maxA {
+			maxA = req.Addr
+		}
+		if !saturated {
+			unique[req.Addr] = struct{}{}
+			if len(unique) >= uniqueCap {
+				saturated = true
+			}
+		}
+	}
+	if reqs == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	uniq := fmt.Sprintf("%d", len(unique))
+	if saturated {
+		uniq = ">= " + uniq
+	}
+	fmt.Printf("requests      %d\n", reqs)
+	fmt.Printf("writes        %d (%.1f%%)\n", writes, 100*float64(writes)/float64(reqs))
+	fmt.Printf("address range [%#x, %#x]\n", minA, maxA)
+	fmt.Printf("unique addrs  %s\n", uniq)
+	return nil
+}

@@ -1,0 +1,230 @@
+// Command wlsim regenerates the paper's tables and figures from the
+// command line.
+//
+// Usage:
+//
+//	wlsim [-scale small|medium|large] [-seed N] <experiment>
+//
+// where <experiment> is one of: table1, fig3, fig4, fig5, fig12, fig13,
+// fig14, fig15, fig16, fig17, overhead, all.
+//
+// Each experiment prints the same rows/series the paper reports, on a
+// scaled-down device (see EXPERIMENTS.md for the scaling rules and the
+// paper-vs-measured record).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nvmwear"
+)
+
+func main() {
+	scaleName := flag.String("scale", "medium", "experiment scale: small|medium|large")
+	seed := flag.Uint64("seed", 42, "experiment seed")
+	format := flag.String("format", "text", "output format: text|csv|json")
+	normalized := flag.Float64("normalized", 0.85, "project: measured normalized lifetime")
+	endurance := flag.Float64("endurance", 1e5, "project: cell endurance Wmax")
+	capacityGB := flag.Uint64("capacity", 64, "project: device capacity in GB")
+	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
+	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
+	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
+	flag.Usage = usage
+	flag.Parse()
+	if flag.NArg() != 1 {
+		usage()
+		os.Exit(2)
+	}
+	sc, err := nvmwear.ScaleByName(*scaleName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.Seed = *seed
+
+	var currentFig string
+	emit := func(title, xName string, series []nvmwear.Series) {
+		if err := nvmwear.FormatSeries(os.Stdout, *format, title, xName, series); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if *svgDir != "" {
+			logX := xName == "regions"
+			path := *svgDir + "/" + currentFig + ".svg"
+			f, err := os.Create(path)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			if err := nvmwear.WriteSeriesSVG(f, title, xName, "value", logX, series); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			f.Close()
+			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
+		}
+	}
+
+	run := func(name string) bool {
+		start := time.Now()
+		currentFig = name
+		ok := true
+		switch name {
+		case "table1":
+			fmt.Print(nvmwear.RunTable1().Render())
+		case "fig3":
+			emit("Fig 3: TLSR normalized lifetime (%) vs number of regions, BPA",
+				"regions", nvmwear.RunFig3(sc))
+		case "fig4":
+			emit("Fig 4: PCM-S/MWSR normalized lifetime (%) vs number of regions, BPA",
+				"regions", nvmwear.RunFig4(sc))
+		case "fig5":
+			emit("Fig 5: hybrid lifetime (%) vs on-chip cache budget (KB), BPA",
+				"budgetKB", nvmwear.RunFig5(sc))
+		case "fig12":
+			emit("Fig 12: CMT hit rate (%) vs runtime for observation-window sizes (soplex)",
+				"requests", nvmwear.RunFig12(sc))
+		case "fig13":
+			series, avg := nvmwear.RunFig13(sc)
+			emit("Fig 13: region size (lines) vs runtime for settling-window sizes (soplex)",
+				"requests", series)
+			for _, s := range series {
+				fmt.Printf("avg cache hit rate %s: %.1f%%\n", s.Label, avg[s.Label])
+			}
+		case "fig14":
+			for _, r := range nvmwear.RunFig14(sc) {
+				fmt.Printf("== Fig 14 (%s) ==\n", r.Bench)
+				fmt.Printf("avg hit rate: NWL-4 %.1f%%  NWL-64 %.1f%%  SAWL %.1f%%\n",
+					r.AvgNWL4, r.AvgNWL64, r.AvgSAWL)
+				fmt.Print(nvmwear.SeriesTable("SAWL region-size trace",
+					"requests", []nvmwear.Series{r.RegionSize}, "%.1f").Render())
+			}
+		case "fig15":
+			emit("Fig 15: normalized lifetime (%) vs swapping period, BPA",
+				"period", nvmwear.RunFig15(sc))
+		case "fig16":
+			printFig16(sc, true)
+			printFig16(sc, false)
+		case "fig17":
+			series := nvmwear.RunFig17(sc)
+			tab := nvmwear.SeriesTable(
+				"Fig 17: IPC degradation (%) vs baseline without wear leveling",
+				"bench#", series, "%.1f")
+			relabelBenches(&tab)
+			fmt.Print(tab.Render())
+		case "overhead":
+			fmt.Print(nvmwear.RunOverhead(64<<30, 64<<20, 32).Render())
+		case "attack":
+			runAttack(sc)
+		case "sweep":
+			series, err := nvmwear.RunSweep(sc, nvmwear.SchemeKind(*sweepScheme),
+				[]uint64{4, 16, 64, 256}, []uint64{8, 16, 32, 64})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			emit(fmt.Sprintf("BPA lifetime (%%) sweep: %s", *sweepScheme),
+				"regionLines", series)
+		case "project":
+			p := nvmwear.ProjectLifetime(*capacityGB<<30, uint64(*endurance),
+				*bandwidthGB*float64(1<<30), *normalized)
+			fmt.Printf("%s\n", p)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
+			ok = false
+		}
+		if ok {
+			fmt.Printf("[%s completed in %v at scale %s]\n\n", name, time.Since(start).Round(time.Millisecond), sc.Name)
+		}
+		return ok
+	}
+
+	target := flag.Arg(0)
+	if target == "all" {
+		for _, name := range []string{
+			"table1", "fig3", "fig4", "fig5", "fig12", "fig13",
+			"fig14", "fig15", "fig16", "fig17", "overhead",
+		} {
+			if !run(name) {
+				os.Exit(1)
+			}
+		}
+		return
+	}
+	if !run(target) {
+		usage()
+		os.Exit(1)
+	}
+}
+
+// printFig16 renders one panel of Fig 16.
+func printFig16(sc nvmwear.Scale, coarse bool) {
+	panel := "(a) coarse regions"
+	if !coarse {
+		panel = "(b) fine regions"
+	}
+	series := nvmwear.RunFig16(sc, coarse)
+	tab := nvmwear.SeriesTable(
+		fmt.Sprintf("Fig 16 %s: normalized lifetime (%%) under SPEC-like applications", panel),
+		"bench#", series, "%.1f")
+	relabelBenches(&tab)
+	fmt.Print(tab.Render())
+}
+
+// relabelBenches replaces numeric benchmark indices with names (the last
+// index is the harmonic mean).
+func relabelBenches(tab *nvmwear.Table) {
+	names := nvmwear.SpecBenchmarks()
+	for i := range tab.Rows {
+		if i < len(names) {
+			tab.Rows[i][0] = names[i]
+		} else {
+			tab.Rows[i][0] = "Hmean"
+		}
+	}
+}
+
+// runAttack prints each scheme's RAA/BPA lifetimes and a verdict.
+func runAttack(sc nvmwear.Scale) {
+	fmt.Printf("%-12s  %12s  %12s  verdict\n", "scheme", "RAA life%", "BPA life%")
+	for _, kind := range []nvmwear.SchemeKind{
+		nvmwear.Baseline, nvmwear.SegmentSwap, nvmwear.RBSG,
+		nvmwear.TLSR, nvmwear.PCMS, nvmwear.MWSR, nvmwear.SAWL,
+	} {
+		score, err := nvmwear.RunAttackScore(sc, kind)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("%-12s  %11.1f%%  %11.1f%%  %s\n", kind,
+			100*score.RAANormalized, 100*score.BPANormalized, score.Verdict())
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `wlsim regenerates the SAWL paper's tables and figures.
+
+usage: wlsim [-scale small|medium|large] [-seed N] <experiment>
+
+experiments:
+  table1    simulated system configuration (Table 1)
+  fig3      TLSR lifetime vs number of regions (BPA)
+  fig4      PCM-S/MWSR lifetime vs number of regions (BPA)
+  fig5      hybrid lifetime vs on-chip cache budget (BPA)
+  fig12     hit rate vs runtime for observation-window sizes
+  fig13     region size vs runtime for settling-window sizes
+  fig14     NWL-4 / NWL-64 / SAWL hit rates (bzip2, cactusADM, gcc)
+  fig15     PCM-S / MWSR / SAWL lifetime vs swapping period (BPA)
+  fig16     lifetime under 14 SPEC-like applications
+  fig17     IPC degradation vs no-wear-leveling baseline
+  overhead  hardware overhead arithmetic (Sec 4.5)
+  attack    RAA + BPA resilience verdict per scheme (Sec 2.2)
+  sweep     BPA lifetime over region-size x period grid (-scheme)
+  project   wall-clock lifetime projection (-normalized, -endurance,
+            -capacity GB, -bandwidth GB/s)
+  all       everything above
+`)
+}

@@ -1,0 +1,22 @@
+package main
+
+import (
+	"testing"
+
+	"nvmwear"
+)
+
+func TestRelabelBenches(t *testing.T) {
+	var tab nvmwear.Table
+	names := nvmwear.SpecBenchmarks()
+	for i := 0; i <= len(names); i++ {
+		tab.Rows = append(tab.Rows, []string{"x", "y"})
+	}
+	relabelBenches(&tab)
+	if tab.Rows[0][0] != names[0] {
+		t.Fatalf("first row label %q", tab.Rows[0][0])
+	}
+	if tab.Rows[len(names)][0] != "Hmean" {
+		t.Fatalf("last row label %q", tab.Rows[len(names)][0])
+	}
+}

@@ -1,0 +1,84 @@
+// SPEC comparison: for each of the paper's 14 SPEC CPU2006-like workloads,
+// measure both the lifetime (normalized to ideal) and the IPC cost of
+// three wear-leveling configurations — the combined view behind the
+// paper's Figs 16 and 17.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"nvmwear"
+)
+
+const (
+	lines     = 1 << 12
+	endurance = 1200
+)
+
+func lifetimeOf(kind nvmwear.SchemeKind, bench string) float64 {
+	sys, err := nvmwear.NewSystem(nvmwear.SystemConfig{
+		Scheme:     kind,
+		Lines:      lines,
+		SpareLines: lines / 32,
+		Endurance:  endurance,
+		Period:     8,
+		Regions:    lines / 8,
+		InitGran:   8,
+		CMTEntries: 1024,
+		Seed:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunLifetime(nvmwear.WorkloadSpec{
+		Kind: nvmwear.WorkloadSPEC, Name: bench, Seed: 5,
+	}, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return 100 * res.Normalized
+}
+
+func ipcOf(kind nvmwear.SchemeKind, bench string) float64 {
+	sys, err := nvmwear.NewSystem(nvmwear.SystemConfig{
+		Scheme:     kind,
+		Lines:      1 << 20,
+		SpareLines: 1,
+		Endurance:  1 << 30,
+		Period:     128,
+		InitGran:   4,
+		CMTEntries: 2048,
+		Seed:       5,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := sys.RunTiming(nvmwear.WorkloadSpec{
+		Kind: nvmwear.WorkloadSPEC, Name: bench, Seed: 5,
+	}, 300000, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return res.IPC
+}
+
+func main() {
+	fmt.Printf("%-12s | %9s %9s %9s | %9s %9s %9s\n",
+		"", "lifetime%", "", "", "IPC", "", "")
+	fmt.Printf("%-12s | %9s %9s %9s | %9s %9s %9s\n",
+		"bench", "TLSR", "NWL", "SAWL", "base", "NWL", "SAWL")
+	fmt.Println("-------------+-------------------------------+------------------------------")
+	for _, bench := range nvmwear.SpecBenchmarks() {
+		fmt.Printf("%-12s | %9.1f %9.1f %9.1f | %9.2f %9.2f %9.2f\n",
+			bench,
+			lifetimeOf(nvmwear.TLSR, bench),
+			lifetimeOf(nvmwear.NWL, bench),
+			lifetimeOf(nvmwear.SAWL, bench),
+			ipcOf(nvmwear.Baseline, bench),
+			ipcOf(nvmwear.NWL, bench),
+			ipcOf(nvmwear.SAWL, bench),
+		)
+	}
+	fmt.Println("\nlifetime: percent of ideal (higher is better); IPC: instructions/cycle")
+}

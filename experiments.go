@@ -1,0 +1,244 @@
+package nvmwear
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/nvm"
+)
+
+// wearGini computes the Gini coefficient of the device's per-line wear.
+func wearGini(dev *nvm.Device) float64 {
+	return metrics.GiniUint32(dev.WearCounts())
+}
+
+// Series is one labeled curve of an experiment — the unit every figure
+// runner returns. X holds the independent variable (number of regions,
+// request count, benchmark index), Y the measured value.
+type Series struct {
+	Label string
+	X     []float64
+	Y     []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Table is a rendered experiment result.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Render formats the table as aligned ASCII text.
+func (t Table) Render() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SeriesTable renders a set of series sharing an X axis as one table.
+func SeriesTable(title, xName string, series []Series, fmtY string) Table {
+	// Collect the union of X values in order.
+	seen := map[float64]bool{}
+	var xs []float64
+	for _, s := range series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				xs = append(xs, x)
+			}
+		}
+	}
+	sort.Float64s(xs)
+	tab := Table{Title: title, Columns: append([]string{xName}, labels(series)...)}
+	for _, x := range xs {
+		row := []string{trimFloat(x)}
+		for _, s := range series {
+			cell := ""
+			for i, sx := range s.X {
+				if sx == x {
+					cell = fmt.Sprintf(fmtY, s.Y[i])
+					break
+				}
+			}
+			row = append(row, cell)
+		}
+		tab.Rows = append(tab.Rows, row)
+	}
+	return tab
+}
+
+func labels(series []Series) []string {
+	out := make([]string, len(series))
+	for i, s := range series {
+		out[i] = s.Label
+	}
+	return out
+}
+
+func trimFloat(x float64) string {
+	if x == float64(int64(x)) {
+		return fmt.Sprintf("%d", int64(x))
+	}
+	return fmt.Sprintf("%g", x)
+}
+
+// Scale sizes an experiment. The paper simulates 64 GB devices with
+// 10^5-10^6 endurance for months of traffic; these presets shrink the
+// device and endurance proportionally so every figure regenerates in
+// seconds to minutes while preserving the paper's qualitative shape
+// (DESIGN.md, substitution table). Lifetime experiments keep the paper's
+// governing ratio — cell endurance over the writes between two remaps of a
+// hot line — in the regime where the paper's crossovers appear.
+type Scale struct {
+	Name string
+
+	// Attack experiments (Figs 3, 4, 5, 15): device lines and endurance
+	// for BPA lifetime runs.
+	AttackLines     uint64
+	AttackEndurance uint32
+
+	// SPEC lifetime experiment (Fig 16).
+	SpecLines     uint64
+	SpecEndurance uint32
+	// SpecPeriod is the swapping period for Fig 16 runs. The paper uses
+	// 128 with Wmax 1e5; scaled endurance needs a proportionally shorter
+	// period to preserve endurance/remap-interval.
+	SpecPeriod uint64
+
+	// TraceLines sizes the logical space for fixed-length runs (hit-rate
+	// and IPC figures), which need realistic footprints but no wear-out.
+	TraceLines uint64
+	// Requests drives fixed-length runs.
+	Requests uint64
+
+	// CMTEntries for tiered schemes.
+	CMTEntries int
+	// SpareFrac: spares = lines/SpareFrac.
+	SpareFrac uint64
+	Seed      uint64
+}
+
+// ScaleSmall regenerates every figure in seconds to a few minutes — the
+// default for `go test -bench`.
+var ScaleSmall = Scale{
+	Name:            "small",
+	AttackLines:     1 << 12,
+	AttackEndurance: 2500,
+	SpecLines:       1 << 12,
+	SpecEndurance:   2500,
+	SpecPeriod:      8,
+	TraceLines:      1 << 22,
+	Requests:        1 << 22,
+	CMTEntries:      1 << 12,
+	SpareFrac:       32,
+	Seed:            42,
+}
+
+// ScaleMedium is the cmd/wlsim default: minutes per figure, smoother
+// curves.
+var ScaleMedium = Scale{
+	Name:            "medium",
+	AttackLines:     1 << 14,
+	AttackEndurance: 5000,
+	SpecLines:       1 << 14,
+	SpecEndurance:   5000,
+	SpecPeriod:      16,
+	TraceLines:      1 << 23,
+	Requests:        1 << 24,
+	CMTEntries:      1 << 13,
+	SpareFrac:       32,
+	Seed:            42,
+}
+
+// ScaleLarge approaches the paper's region-count ranges (tens of minutes
+// to hours per figure).
+var ScaleLarge = Scale{
+	Name:            "large",
+	AttackLines:     1 << 17,
+	AttackEndurance: 20000,
+	SpecLines:       1 << 16,
+	SpecEndurance:   20000,
+	SpecPeriod:      32,
+	TraceLines:      1 << 25,
+	Requests:        1 << 26,
+	CMTEntries:      1 << 15,
+	SpareFrac:       32,
+	Seed:            42,
+}
+
+// ScaleByName resolves a preset.
+func ScaleByName(name string) (Scale, error) {
+	switch name {
+	case "small":
+		return ScaleSmall, nil
+	case "medium":
+		return ScaleMedium, nil
+	case "large":
+		return ScaleLarge, nil
+	default:
+		return Scale{}, fmt.Errorf("nvmwear: unknown scale %q (small|medium|large)", name)
+	}
+}
+
+// attackSpares returns the spare-line count for attack devices.
+func (sc Scale) attackSpares() uint64 { return sc.AttackLines / sc.SpareFrac }
+
+// specSpares returns the spare-line count for SPEC lifetime devices.
+func (sc Scale) specSpares() uint64 { return sc.SpecLines / sc.SpareFrac }
+
+// lowAttackEndurance is the scaled "10^5 panel" endurance for attack
+// figures (one fifth of the high panel, keeping small runs meaningful).
+func (sc Scale) lowAttackEndurance() uint32 {
+	e := sc.AttackEndurance / 5
+	if e < 100 {
+		e = 100
+	}
+	return e
+}
+
+// traceLines returns the logical space for fixed-length trace experiments.
+func (sc Scale) traceLines() uint64 {
+	if sc.TraceLines != 0 {
+		return sc.TraceLines
+	}
+	return sc.SpecLines
+}

@@ -1,0 +1,190 @@
+package nvmwear
+
+import (
+	"fmt"
+
+	"nvmwear/internal/core"
+	"nvmwear/internal/trace"
+)
+
+// This file implements the adaptive-behavior experiments: the sensitivity
+// studies of Sec 4.2 (Figs 12 and 13) and the per-benchmark hit-rate /
+// region-size traces of Fig 14.
+//
+// These runs are fixed-length (no device wear-out needed), so the device is
+// built with effectively unlimited endurance and the figures plot the
+// runtime evolution of the CMT hit rate and the wear-leveling granularity.
+
+// sawlTraceConfig builds the SystemConfig used by the Sec 4.2 experiments:
+// SAWL over the scaled device with a given observation/settling window.
+func sawlTraceConfig(sc Scale, sow, ssw uint64, onSample func(core.Sample)) SystemConfig {
+	return SystemConfig{
+		Scheme:            SAWL,
+		Lines:             sc.traceLines(),
+		SpareLines:        1, // never exhausted: Endurance below is huge
+		Endurance:         1 << 30,
+		Period:            128,
+		CMTEntries:        sc.CMTEntries,
+		ObservationWindow: sow,
+		SettlingWindow:    ssw,
+		CheckEvery:        checkEvery(sc),
+		Seed:              sc.Seed,
+		OnSample:          onSample,
+	}
+}
+
+// runTrace drives `requests` of the named SPEC profile through SAWL and
+// returns the sampled (hit rate, region size) trajectories.
+func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit float64) {
+	hit = Series{Label: fmt.Sprintf("SOW=%d", sow)}
+	size = Series{Label: fmt.Sprintf("SSW=%d", ssw)}
+	var sum float64
+	var n int
+	sys, err := NewSystem(sawlTraceConfig(sc, sow, ssw, func(s core.Sample) {
+		hit.Append(float64(s.Requests), 100*s.HitRate)
+		size.Append(float64(s.Requests), s.AvgRegionLines)
+		sum += s.HitRate
+		n++
+	}))
+	if err != nil {
+		panic(err)
+	}
+	stream, _, err := WorkloadSpec{Kind: WorkloadSPEC, Name: bench, Seed: sc.Seed}.Build(sc.traceLines())
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < sc.Requests; i++ {
+		r := stream.Next()
+		if r.Op == trace.Write {
+			sys.Write(r.Addr)
+		} else {
+			sys.Read(r.Addr)
+		}
+	}
+	if n > 0 {
+		avgHit = 100 * sum / float64(n)
+	}
+	return hit, size, avgHit
+}
+
+// RunFig12 reproduces Fig 12: the sampled cache hit rate as a function of
+// runtime for different observation-window sizes, under the soplex-like
+// benchmark. Small windows fluctuate; large windows flatten and miss the
+// adjustment points (Sec 4.2 item 1). Window sizes are scaled from the
+// paper's 2^20-2^26 sweep proportionally to Scale.Requests.
+func RunFig12(sc Scale) []Series {
+	var out []Series
+	for _, sow := range scaledWindows(sc) {
+		hit, _, _ := runTrace(sc, "soplex", sow, sc.Requests/4)
+		hit.Label = fmt.Sprintf("SOW=2^%d", log2u(sow))
+		out = append(out, hit)
+	}
+	return out
+}
+
+// RunFig13 reproduces Fig 13: the region-size trajectory for different
+// settling-window sizes under soplex, each annotated (via the returned
+// avg map) with the average cache hit rate — the paper's per-panel labels.
+func RunFig13(sc Scale) ([]Series, map[string]float64) {
+	var out []Series
+	avg := make(map[string]float64)
+	for _, ssw := range scaledWindows(sc) {
+		_, size, avgHit := runTrace(sc, "soplex", sc.Requests/8, ssw)
+		label := fmt.Sprintf("SSW=2^%d", log2u(ssw))
+		size.Label = label
+		out = append(out, size)
+		avg[label] = avgHit
+	}
+	return out, avg
+}
+
+// scaledWindows returns four window sizes spanning a 64x range scaled to
+// the run length, mirroring the paper's 2^20/2^22/2^24/2^26 sweep against
+// 7e8 requests.
+func scaledWindows(sc Scale) []uint64 {
+	base := sc.Requests / 512
+	if base < 1024 {
+		base = 1024
+	}
+	return []uint64{base, base * 4, base * 16, base * 64}
+}
+
+// checkEvery scales the hit-rate sampling interval to the run length (the
+// paper samples every 100k requests against 7e8-request runs).
+func checkEvery(sc Scale) uint64 {
+	c := sc.Requests / 1024
+	if c < 1024 {
+		c = 1024
+	}
+	return c
+}
+
+func log2u(v uint64) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}
+
+// Fig14Result holds one benchmark's panel of Fig 14.
+type Fig14Result struct {
+	Bench      string
+	RegionSize Series  // SAWL region-size trajectory
+	HitRate    Series  // SAWL hit-rate trajectory
+	AvgNWL4    float64 // average hit rate, NWL with 4-line granularity
+	AvgNWL64   float64 // average hit rate, NWL with 64-line granularity
+	AvgSAWL    float64
+}
+
+// RunFig14 reproduces Fig 14: for each of the three representative
+// benchmarks (bzip2, cactusADM, gcc), the SAWL hit-rate and region-size
+// trajectories plus the average hit rates of NWL-4, NWL-64 and SAWL.
+func RunFig14(sc Scale) []Fig14Result {
+	var out []Fig14Result
+	for _, bench := range []string{"bzip2", "cactusADM", "gcc"} {
+		r := Fig14Result{Bench: bench}
+		r.AvgNWL4 = runNWLHitRate(sc, bench, 4)
+		r.AvgNWL64 = runNWLHitRate(sc, bench, 64)
+		hit, size, avg := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
+		hit.Label = "SAWL " + bench
+		size.Label = "SAWL " + bench
+		r.HitRate = hit
+		r.RegionSize = size
+		r.AvgSAWL = avg
+		out = append(out, r)
+	}
+	return out
+}
+
+// runNWLHitRate measures the average CMT hit rate of the fixed-granularity
+// tiered scheme on a benchmark.
+func runNWLHitRate(sc Scale, bench string, gran uint64) float64 {
+	sys, err := NewSystem(SystemConfig{
+		Scheme:     NWL,
+		Lines:      sc.traceLines(),
+		SpareLines: 1,
+		Endurance:  1 << 30,
+		Period:     128,
+		InitGran:   gran,
+		CMTEntries: sc.CMTEntries,
+		Seed:       sc.Seed,
+	})
+	if err != nil {
+		panic(err)
+	}
+	stream, _, err := WorkloadSpec{Kind: WorkloadSPEC, Name: bench, Seed: sc.Seed}.Build(sc.traceLines())
+	if err != nil {
+		panic(err)
+	}
+	for i := uint64(0); i < sc.Requests; i++ {
+		r := stream.Next()
+		if r.Op == trace.Write {
+			sys.Write(r.Addr)
+		} else {
+			sys.Read(r.Addr)
+		}
+	}
+	return 100 * sys.Stats().CMTHitRate
+}

@@ -1,0 +1,354 @@
+package nvmwear
+
+import (
+	"fmt"
+
+	"nvmwear/internal/analysis"
+	"nvmwear/internal/lifetime"
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/mwsr"
+	"nvmwear/internal/wl/pcms"
+	"nvmwear/internal/wl/secref"
+	"nvmwear/internal/workload"
+)
+
+// This file implements the lifetime experiments: Figs 3, 4, 5, 15 and 16.
+// Every runner returns Series of normalized lifetime (percent of ideal).
+
+// bpaLifetime runs one BPA lifetime measurement on a fresh device. The
+// attacker writes each randomly selected address "precisely" (Sec 2.2):
+// `repeats` is tuned to the scheme's remap trigger, so every burst deposits
+// one full swap period of wear on a single physical line before the scheme
+// can move it — the worst case the paper evaluates.
+func bpaLifetime(build func(dev *nvm.Device) wl.Leveler, lines, spares uint64, endurance uint32, repeats, seed uint64) float64 {
+	dev := nvm.New(nvm.Config{Lines: lines, SpareLines: spares, Endurance: endurance})
+	lv := build(dev)
+	bpa := workload.NewBPA(seed, lv.Lines(), repeats)
+	res := lifetime.Run(dev, lv, bpa, lifetime.Options{Workload: "BPA"})
+	return 100 * res.Normalized
+}
+
+// regionSweep returns the paper-shaped region-count sweep for a device:
+// seven points doubling from lines>>10 to lines>>4 (the paper sweeps
+// 16K..2M regions — region sizes 16K down to 128 lines — on a 256M-line
+// device; the scaled sweep covers region sizes 1024 down to 16 lines so
+// the rising/falling shape appears within the scaled endurance).
+func regionSweep(lines uint64) []uint64 {
+	var out []uint64
+	for shift := uint(10); ; shift-- {
+		r := lines >> shift
+		if r >= 2 {
+			out = append(out, r)
+		}
+		if shift == 4 {
+			break
+		}
+	}
+	return out
+}
+
+// RunFig3 reproduces Fig 3: normalized lifetime of TLSR under BPA as a
+// function of the number of regions, for inner swapping periods 8-64 and
+// two endurance levels (outer period fixed at 32, as in Sec 2.2).
+func RunFig3(sc Scale) []Series {
+	var out []Series
+	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
+		for _, period := range []uint64{8, 16, 32, 64} {
+			s := Series{Label: fmt.Sprintf("Wmax=%d ψ=%d", endurance, period)}
+			for _, regions := range regionSweep(sc.AttackLines) {
+				regions := regions
+				repeats := period * (sc.AttackLines / regions) / 2
+				if repeats == 0 {
+					repeats = 1
+				}
+				norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+					return secref.New(dev, secref.Config{
+						Lines: sc.AttackLines, Regions: regions,
+						InnerPeriod: period, OuterPeriod: 32, Seed: sc.Seed,
+					})
+				}, sc.AttackLines, sc.attackSpares(), endurance, repeats, sc.Seed)
+				s.Append(float64(regions), norm)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunFig4 reproduces Fig 4: normalized lifetime of the hybrid schemes
+// (PCM-S and MWSR) under BPA versus the number of regions, for swapping
+// periods 8-64 and two endurance levels.
+func RunFig4(sc Scale) []Series {
+	var out []Series
+	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
+		for _, scheme := range []SchemeKind{PCMS, MWSR} {
+			for _, period := range []uint64{8, 16, 32, 64} {
+				s := Series{Label: fmt.Sprintf("%s Wmax=%d ψ=%d", scheme, endurance, period)}
+				for _, regions := range regionSweep(sc.AttackLines) {
+					q := sc.AttackLines / regions
+					norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+						if scheme == PCMS {
+							return pcms.New(dev, pcms.Config{
+								Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
+							})
+						}
+						return mwsr.New(dev, mwsr.Config{
+							Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
+						})
+					}, sc.AttackLines, sc.attackSpares(), endurance, period*q, sc.Seed)
+					s.Append(float64(regions), norm)
+				}
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// RunFig5 reproduces Fig 5: normalized lifetime of PCM-S and MWSR under
+// BPA as a function of the on-chip cache budget. A budget of B bytes
+// limits the number of regions each scheme can track (MWSR entries are
+// about twice the size of PCM-S entries, which is why it does worse at
+// equal budget). Budgets are scaled: the paper sweeps 64 KB-4 MB on 64 GB.
+func RunFig5(sc Scale) []Series {
+	budgets := []uint64{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+	var out []Series
+	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
+		for _, scheme := range []SchemeKind{PCMS, MWSR} {
+			s := Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)}
+			for _, budget := range budgets {
+				regions := regionsForBudget(scheme, budget, sc.AttackLines)
+				q := sc.AttackLines / regions
+				norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+					if scheme == PCMS {
+						return pcms.New(dev, pcms.Config{
+							Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: sc.Seed,
+						})
+					}
+					return mwsr.New(dev, mwsr.Config{
+						Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: sc.Seed,
+					})
+				}, sc.AttackLines, sc.attackSpares(), endurance, 32*q, sc.Seed)
+				s.Append(float64(budget)/1024, norm) // x in KB
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// regionsForBudget returns the largest power-of-two region count whose
+// mapping table fits in `budget` bytes of SRAM for the scheme.
+func regionsForBudget(scheme SchemeKind, budget uint64, lines uint64) uint64 {
+	best := uint64(2)
+	for r := uint64(2); r <= lines/4; r <<= 1 {
+		var entry uint64
+		if scheme == PCMS {
+			entry = pcms.EntryBits(r, lines/r) + 24
+		} else {
+			entry = mwsr.EntryBits(r, lines/r) + 24
+		}
+		if r*entry <= budget*8 {
+			best = r
+		}
+	}
+	return best
+}
+
+// RunFig15 reproduces Fig 15: normalized BPA lifetime of PCM-S, MWSR and
+// SAWL versus swapping period, for two endurance levels. PCM-S and MWSR
+// must keep their whole table on chip, which caps their region count (the
+// paper's Sec 2.2 item 4): scaled here to 64-line regions for PCM-S and —
+// entries twice the size — 128-line regions for MWSR. SAWL stores the full
+// table in NVM and wear-levels at the initial 4-line granularity with no
+// such bound, which is why it wins by the paper's 25-51% (50-78% at low
+// endurance).
+func RunFig15(sc Scale) []Series {
+	var out []Series
+	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
+		for _, scheme := range []SchemeKind{PCMS, MWSR, SAWL} {
+			s := Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)}
+			for _, period := range []uint64{8, 16, 32, 64} {
+				var norm float64
+				if scheme == SAWL {
+					sys, err := NewSystem(SystemConfig{
+						Scheme: SAWL, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+						Endurance: endurance, Period: period,
+						CMTEntries: sc.CMTEntries, Seed: sc.Seed,
+					})
+					if err != nil {
+						panic(err)
+					}
+					res, err := sys.RunLifetime(WorkloadSpec{
+						Kind: WorkloadBPA, Seed: sc.Seed, Repeats: period * 4,
+					}, 0)
+					if err != nil {
+						panic(err)
+					}
+					norm = 100 * res.Normalized
+				} else {
+					// On-chip bound, scaled: PCM-S affords 16-line regions,
+					// MWSR (double-size entries) 32-line regions.
+					q := uint64(16)
+					if scheme == MWSR {
+						q = 32
+					}
+					norm = bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+						if scheme == PCMS {
+							return pcms.New(dev, pcms.Config{
+								Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
+							})
+						}
+						return mwsr.New(dev, mwsr.Config{
+							Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
+						})
+					}, sc.AttackLines, sc.attackSpares(), endurance, period*q, sc.Seed)
+				}
+				s.Append(float64(period), norm)
+			}
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// RunFig16 reproduces Fig 16: normalized lifetime under the 14 SPEC-like
+// applications for Baseline, RBSG, TLSR and SAWL, in two region
+// configurations — (a) few large regions, (b) many small regions. The
+// final point of each series is the harmonic mean, the paper's "Hmean"
+// bar. X values index the benchmark in SpecBenchmarks() order (the Hmean
+// point is appended at index len(benchmarks)).
+func RunFig16(sc Scale, coarse bool) []Series {
+	// (a) coarse: 64-line regions (the paper's 4096-region config, where
+	// RBSG/TLSR regions are large); (b) fine: 8-line regions (the paper's
+	// 1M-region config).
+	var regions uint64
+	if coarse {
+		regions = sc.SpecLines / 64
+	} else {
+		regions = sc.SpecLines / 8
+	}
+	if regions < 4 {
+		regions = 4
+	}
+	gran := sc.SpecLines / regions
+
+	names := workload.Names()
+	schemes := []SchemeKind{Baseline, RBSG, TLSR, SAWL}
+	out := make([]Series, len(schemes))
+	endurance := sc.SpecEndurance
+
+	for si, scheme := range schemes {
+		out[si].Label = string(scheme)
+		var values []float64
+		for bi, name := range names {
+			cfg := SystemConfig{
+				Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
+				Endurance: endurance, Period: sc.SpecPeriod, Seed: sc.Seed,
+				Regions: regions, InitGran: gran, CMTEntries: sc.CMTEntries,
+			}
+			if scheme == SAWL {
+				// Sec 4.1: SAWL's initial wear-leveling granularity is a few
+				// memory lines regardless of the RBSG/TLSR region config;
+				// the region sweep only affects the algebraic schemes.
+				cfg.InitGran = 8
+			}
+			sys, err := NewSystem(cfg)
+			if err != nil {
+				panic(err)
+			}
+			res, err := sys.RunLifetime(WorkloadSpec{
+				Kind: WorkloadSPEC, Name: name, Seed: sc.Seed,
+			}, 0)
+			if err != nil {
+				panic(err)
+			}
+			v := 100 * res.Normalized
+			values = append(values, v)
+			out[si].Append(float64(bi), v)
+		}
+		out[si].Append(float64(len(names)), 100*hmeanPct(values))
+	}
+	return out
+}
+
+// hmeanPct computes the harmonic mean of percent values, returned as a
+// fraction of 100.
+func hmeanPct(vals []float64) float64 {
+	return metrics.HarmonicMean(vals) / 100
+}
+
+// RunAttackScore measures one scheme's normalized lifetime under RAA and a
+// trigger-aware BPA at the attack scale, returning the Sec 2.2-style
+// resilience verdict.
+func RunAttackScore(sc Scale, kind SchemeKind) (analysis.AttackScore, error) {
+	run := func(w WorkloadSpec) (float64, error) {
+		sys, err := NewSystem(SystemConfig{
+			Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: sc.AttackEndurance, Period: 8,
+			RegionLines: 64, Regions: 16, InitGran: 4,
+			CMTEntries: sc.CMTEntries, Seed: sc.Seed,
+		})
+		if err != nil {
+			return 0, err
+		}
+		res, err := sys.RunLifetime(w, 0)
+		if err != nil {
+			return 0, err
+		}
+		return res.Normalized, nil
+	}
+	raa, err := run(WorkloadSpec{Kind: WorkloadRAA, Target: 99})
+	if err != nil {
+		return analysis.AttackScore{}, err
+	}
+	repeats := uint64(8 * 64)
+	if kind == SAWL || kind == NWL {
+		repeats = 8 * 4
+	}
+	bpa, err := run(WorkloadSpec{Kind: WorkloadBPA, Seed: sc.Seed, Repeats: repeats})
+	if err != nil {
+		return analysis.AttackScore{}, err
+	}
+	return analysis.AttackScore{RAANormalized: raa, BPANormalized: bpa}, nil
+}
+
+// RunSweep measures BPA lifetime for one scheme across region sizes and
+// swapping periods — the generic parameter exploration behind cmd/wlsim's
+// `sweep` experiment. Each series is one period; X is the region size in
+// lines.
+func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Series, error) {
+	out := make([]Series, 0, len(periods))
+	for _, period := range periods {
+		s := Series{Label: fmt.Sprintf("%s ψ=%d", kind, period)}
+		for _, q := range regionLines {
+			sys, err := NewSystem(SystemConfig{
+				Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+				Endurance: sc.AttackEndurance, Period: period,
+				RegionLines: q, Regions: sc.AttackLines / q, InitGran: min64(q, 64),
+				CMTEntries: sc.CMTEntries, Seed: sc.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			res, err := sys.RunLifetime(WorkloadSpec{
+				Kind: WorkloadBPA, Seed: sc.Seed, Repeats: period * q,
+			}, 0)
+			if err != nil {
+				return nil, err
+			}
+			s.Append(float64(q), 100*res.Normalized)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func min64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,3 @@
+module nvmwear
+
+go 1.22

@@ -1,0 +1,111 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestIsPow2(t *testing.T) {
+	for _, v := range []uint64{1, 2, 4, 8, 1 << 20, 1 << 63} {
+		if !IsPow2(v) {
+			t.Errorf("IsPow2(%d) = false", v)
+		}
+	}
+	for _, v := range []uint64{0, 3, 5, 6, 7, 9, 1<<20 + 1} {
+		if IsPow2(v) {
+			t.Errorf("IsPow2(%d) = true", v)
+		}
+	}
+}
+
+func TestLog2(t *testing.T) {
+	cases := map[uint64]uint{1: 0, 2: 1, 3: 1, 4: 2, 1023: 9, 1024: 10, 1 << 40: 40}
+	for v, want := range cases {
+		if got := Log2(v); got != want {
+			t.Errorf("Log2(%d) = %d, want %d", v, got, want)
+		}
+	}
+}
+
+func TestLog2PanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	Log2(0)
+}
+
+func TestSplitJoinRoundTrip(t *testing.T) {
+	err := quick.Check(func(a uint64, qBits uint8) bool {
+		q := uint64(1) << (qBits % 20)
+		a %= 1 << 40
+		r, o := Split(a, q)
+		return o < q && Join(r, o, q) == a
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapIsInvolutionAndBijection(t *testing.T) {
+	const q = 64
+	for key := uint64(0); key < q; key++ {
+		seen := make(map[uint64]bool)
+		for lao := uint64(0); lao < q; lao++ {
+			p := Map(lao, key)
+			if p >= q {
+				t.Fatalf("Map(%d,%d) = %d escapes region", lao, key, p)
+			}
+			if Map(p, key) != lao {
+				t.Fatalf("Map not involution at lao=%d key=%d", lao, key)
+			}
+			if seen[p] {
+				t.Fatalf("Map collision at key=%d", key)
+			}
+			seen[p] = true
+		}
+	}
+}
+
+func TestPackUnpackRoundTrip(t *testing.T) {
+	err := quick.Check(func(prn, key uint64, qBits uint8) bool {
+		q := uint64(1) << (qBits % 16)
+		prn %= 1 << 30
+		key &= q - 1
+		p, k := Unpack(Pack(prn, key, q), q)
+		return p == prn && k == key
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTranslateMatchesManualSteps(t *testing.T) {
+	// Paper Fig 11 example arithmetic: Q=8, prn=5, key=3, lma=19.
+	const q, prn, key = 8, 5, 3
+	d := Pack(prn, key, q)
+	lma := uint64(19) // lrn=2, lao=3
+	want := uint64(prn*q + (3 ^ key))
+	if got := Translate(lma, d, q); got != want {
+		t.Fatalf("Translate = %d, want %d", got, want)
+	}
+}
+
+func TestTranslateBijectionPerRegion(t *testing.T) {
+	// For a fixed (d, q), Translate restricted to one logical region must be
+	// a bijection onto one physical region.
+	const q = 32
+	d := Pack(7, 21, q)
+	seen := make(map[uint64]bool)
+	for lao := uint64(0); lao < q; lao++ {
+		p := Translate(4*q+lao, d, q)
+		if p/q != 7 {
+			t.Fatalf("escaped physical region: %d", p)
+		}
+		if seen[p] {
+			t.Fatalf("collision at %d", p)
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestPaperProjection reproduces the paper's Sec 2.2 arithmetic: a 64 GB
+// device at 10^5 (10^6) endurance under 1 GBps write traffic has an ideal
+// lifetime of 2.5 (25) months.
+func TestPaperProjection(t *testing.T) {
+	p := Projection{
+		CapacityBytes:  64 << 30,
+		LineBytes:      64,
+		Endurance:      1e5,
+		WriteBandwidth: 1 << 30,
+		Normalized:     1,
+	}
+	if m := Months(p.Ideal()); math.Abs(m-2.5) > 0.3 {
+		t.Fatalf("ideal lifetime %.2f months, paper says 2.5", m)
+	}
+	p.Endurance = 1e6
+	if m := Months(p.Ideal()); math.Abs(m-25) > 3 {
+		t.Fatalf("ideal lifetime %.2f months, paper says 25", m)
+	}
+	p.Normalized = 0.5
+	if got, want := Months(p.Projected()), Months(p.Ideal())/2; math.Abs(got-want) > 0.01 {
+		t.Fatalf("projected %.2f, want %.2f", got, want)
+	}
+	if !strings.Contains(p.String(), "months") {
+		t.Fatal("string")
+	}
+}
+
+func TestProjectionZeroBandwidth(t *testing.T) {
+	p := Projection{CapacityBytes: 1 << 30, LineBytes: 64, Endurance: 100}
+	if p.Ideal() != 0 {
+		t.Fatal("zero bandwidth should project zero")
+	}
+}
+
+func TestWearReport(t *testing.T) {
+	counts := make([]uint32, 100)
+	for i := 0; i < 50; i++ {
+		counts[i] = 10
+	}
+	r := Wear(counts)
+	if r.Lines != 100 || r.Max != 10 || r.Mean != 5 || r.ZeroFrac != 0.5 {
+		t.Fatalf("report: %+v", r)
+	}
+	if r.Gini < 0.45 || r.Gini > 0.55 {
+		t.Fatalf("gini %.3f for half-zero wear", r.Gini)
+	}
+	if r.P99 != 10 || r.Median != 10 {
+		t.Fatalf("quantiles: %+v", r)
+	}
+	if r.String() == "" {
+		t.Fatal("string")
+	}
+}
+
+func TestWearReportEdgeCases(t *testing.T) {
+	if r := Wear(nil); r.Lines != 0 || r.Gini != 0 {
+		t.Fatalf("empty: %+v", r)
+	}
+	if r := Wear([]uint32{0, 0}); r.Gini != 0 || r.ZeroFrac != 1 {
+		t.Fatalf("zeros: %+v", r)
+	}
+	uniform := Wear([]uint32{7, 7, 7, 7})
+	if uniform.Gini > 1e-9 || uniform.CoV != 0 {
+		t.Fatalf("uniform: %+v", uniform)
+	}
+}
+
+func TestAttackScoreVerdicts(t *testing.T) {
+	cases := []struct {
+		raa, bpa float64
+		want     string
+	}{
+		{0.6, 0.5, "robust"},
+		{0.6, 0.2, "degraded"},
+		{0.03, 0.7, "vulnerable"},
+		{0.05, 0.05, "vulnerable"},
+	}
+	for _, c := range cases {
+		got := AttackScore{RAANormalized: c.raa, BPANormalized: c.bpa}.Verdict()
+		if got != c.want {
+			t.Errorf("RAA %.2f BPA %.2f: %s, want %s", c.raa, c.bpa, got, c.want)
+		}
+	}
+	if !strings.Contains((AttackScore{0.5, 0.5}).String(), "robust") {
+		t.Fatal("string")
+	}
+}
+
+func TestMonths(t *testing.T) {
+	if m := Months(30 * 24 * time.Hour); math.Abs(m-1) > 1e-9 {
+		t.Fatalf("Months = %v", m)
+	}
+}

@@ -1,0 +1,110 @@
+// Package cache models a set-associative write-back, write-allocate cache
+// with LRU replacement — the shared L2 that sits between the cores and the
+// memory controller in the paper's simulated system (Table 1: 512 KB shared
+// L2). The timing simulator filters the workload's line-address stream
+// through it so only L2 misses and dirty evictions reach the NVM.
+package cache
+
+// Cache is a set-associative cache over line addresses. Not safe for
+// concurrent use.
+type Cache struct {
+	ways    int
+	sets    uint64
+	tags    []uint64 // sets*ways entries
+	valid   []bool
+	dirty   []bool
+	lruTick []uint64 // per-entry last-use stamp
+	tick    uint64
+
+	hits, misses, writebacks uint64
+}
+
+// New creates a cache with the given total line capacity and associativity.
+// lines must be a multiple of ways and lines/ways a power of two.
+func New(lines uint64, ways int) *Cache {
+	if ways <= 0 || lines == 0 || lines%uint64(ways) != 0 {
+		panic("cache: lines must be a positive multiple of ways")
+	}
+	sets := lines / uint64(ways)
+	if sets&(sets-1) != 0 {
+		panic("cache: number of sets must be a power of two")
+	}
+	n := sets * uint64(ways)
+	return &Cache{
+		ways:    ways,
+		sets:    sets,
+		tags:    make([]uint64, n),
+		valid:   make([]bool, n),
+		dirty:   make([]bool, n),
+		lruTick: make([]uint64, n),
+	}
+}
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Writeback is set when a dirty victim was evicted; its line address
+	// must be written to memory.
+	Writeback     bool
+	WritebackAddr uint64
+}
+
+// Access performs a read or write of one line with write-allocate.
+func (c *Cache) Access(line uint64, write bool) Result {
+	c.tick++
+	set := line & (c.sets - 1)
+	base := set * uint64(c.ways)
+	victim := base
+	oldest := ^uint64(0)
+	for i := base; i < base+uint64(c.ways); i++ {
+		if c.valid[i] && c.tags[i] == line {
+			c.hits++
+			c.lruTick[i] = c.tick
+			if write {
+				c.dirty[i] = true
+			}
+			return Result{Hit: true}
+		}
+		if !c.valid[i] {
+			// Prefer an invalid slot; mark it "oldest possible".
+			if oldest != 0 {
+				victim, oldest = i, 0
+			}
+			continue
+		}
+		if c.lruTick[i] < oldest {
+			victim, oldest = i, c.lruTick[i]
+		}
+	}
+	c.misses++
+	res := Result{}
+	if c.valid[victim] && c.dirty[victim] {
+		c.writebacks++
+		res.Writeback = true
+		res.WritebackAddr = c.tags[victim]
+	}
+	c.tags[victim] = line
+	c.valid[victim] = true
+	c.dirty[victim] = write
+	c.lruTick[victim] = c.tick
+	return res
+}
+
+// Stats reports cumulative counters.
+type Stats struct {
+	Hits, Misses, Writebacks uint64
+}
+
+// Stats returns the counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, Writebacks: c.writebacks}
+}
+
+// HitRate returns hits/(hits+misses), 0 if no accesses.
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 0
+	}
+	return float64(c.hits) / float64(t)
+}

@@ -1,0 +1,98 @@
+package cache
+
+import "testing"
+
+func TestHitAfterFill(t *testing.T) {
+	c := New(64, 4)
+	if c.Access(5, false).Hit {
+		t.Fatal("cold hit")
+	}
+	if !c.Access(5, false).Hit {
+		t.Fatal("miss after fill")
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestLRUEvictionWithinSet(t *testing.T) {
+	c := New(8, 2) // 4 sets, 2 ways
+	// Addresses 0, 4, 8 share set 0 (sets=4).
+	c.Access(0, false)
+	c.Access(4, false)
+	c.Access(0, false) // 0 MRU, 4 LRU
+	c.Access(8, false) // evicts 4
+	if !c.Access(0, false).Hit {
+		t.Fatal("0 evicted")
+	}
+	if c.Access(4, false).Hit {
+		t.Fatal("4 survived")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(2, 1)            // 2 sets, direct-mapped
+	c.Access(0, true)         // dirty
+	res := c.Access(2, false) // same set, evicts 0
+	if !res.Writeback || res.WritebackAddr != 0 {
+		t.Fatalf("writeback: %+v", res)
+	}
+	// Clean eviction: no writeback.
+	res = c.Access(4, false)
+	if res.Writeback {
+		t.Fatal("clean line written back")
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatal("writeback count")
+	}
+}
+
+func TestWriteHitMarksDirty(t *testing.T) {
+	c := New(2, 1)
+	c.Access(0, false) // clean fill
+	c.Access(0, true)  // dirty via write hit
+	res := c.Access(2, false)
+	if !res.Writeback {
+		t.Fatal("write-hit dirtiness lost")
+	}
+}
+
+func TestInvalidSlotPreferred(t *testing.T) {
+	c := New(4, 2)
+	c.Access(0, true)
+	// Second fill to the same set must use the invalid way, not evict 0.
+	if res := c.Access(2, false); res.Writeback {
+		t.Fatal("evicted instead of using invalid way")
+	}
+	if !c.Access(0, false).Hit {
+		t.Fatal("0 evicted prematurely")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, f := range []func(){
+		func() { New(0, 1) },
+		func() { New(10, 0) },
+		func() { New(10, 3) },
+		func() { New(24, 2) }, // 12 sets, not a power of two
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestEmptyHitRate(t *testing.T) {
+	if New(4, 2).HitRate() != 0 {
+		t.Fatal("empty hit rate")
+	}
+}

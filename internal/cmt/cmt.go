@@ -1,0 +1,360 @@
+// Package cmt implements the Cached Mapping Table: the small on-chip SRAM
+// cache of recently-used address-mapping entries that tiered wear-leveling
+// (NWL, SAWL) relies on (paper Sec 3.1, Fig 6).
+//
+// Entries are kept in an LRU stack. Each entry covers one wear-leveling
+// region, whose granularity may vary (SAWL's region-merge/split): an entry
+// records the region's level (log2 of its size in initial-granularity
+// units), the aligned base of the initial-region range it covers, and the
+// region's physical mapping (prn, key).
+//
+// The cache also maintains exact first-half/second-half hit counters over
+// the LRU stack — the signal SAWL's region-split trigger uses (Sec 3.2:
+// "two registers to record the cache hit counts of the first and the
+// second half of the CMT entries queue").
+package cmt
+
+import (
+	"fmt"
+)
+
+// Entry is one cached mapping.
+type Entry struct {
+	Base  uint64 // first initial-region index covered (aligned to 1<<Level)
+	Level uint8  // region size = InitGranularity << Level lines
+	Prn   uint64 // physical region number, in units of the region's own size
+	Key   uint64 // intra-region XOR key (line-granular)
+}
+
+// Span returns the number of initial-granularity regions the entry covers.
+func (e Entry) Span() uint64 { return 1 << e.Level }
+
+// node is an intrusive LRU list node.
+type node struct {
+	Entry
+	prev, next *node
+	firstHalf  bool
+}
+
+// Policy selects the replacement policy. The paper's design is an LRU
+// stack (its split trigger depends on the LRU-half hit counters); FIFO
+// exists as an ablation baseline.
+type Policy uint8
+
+// Replacement policies.
+const (
+	PolicyLRU Policy = iota
+	PolicyFIFO
+)
+
+// Cache is a fixed-capacity mapping cache. Not safe for concurrent use.
+type Cache struct {
+	capacity int
+	policy   Policy
+	index    map[uint64]*node // (level, base) packed -> node
+	levels   [64]int          // population count per level, to bound lookups
+	maxLevel int
+
+	head, tail *node // sentinels
+	size       int
+	mid        *node // first node of the second half (nil if size < 2)
+	firstCount int   // nodes tagged firstHalf
+
+	hits, misses          uint64
+	firstHits, secondHits uint64
+}
+
+// New creates an LRU cache holding up to capacity entries.
+func New(capacity int) *Cache { return NewWithPolicy(capacity, PolicyLRU) }
+
+// NewWithPolicy creates a cache with an explicit replacement policy.
+func NewWithPolicy(capacity int, policy Policy) *Cache {
+	if capacity < 1 {
+		panic("cmt: capacity must be positive")
+	}
+	c := &Cache{
+		capacity: capacity,
+		policy:   policy,
+		index:    make(map[uint64]*node, capacity),
+		head:     &node{},
+		tail:     &node{},
+	}
+	c.head.next = c.tail
+	c.tail.prev = c.head
+	return c
+}
+
+// pack builds the index key for (level, base).
+func pack(level uint8, base uint64) uint64 {
+	return base<<6 | uint64(level)
+}
+
+// Capacity returns the entry capacity.
+func (c *Cache) Capacity() int { return c.capacity }
+
+// Len returns the current entry count.
+func (c *Cache) Len() int { return c.size }
+
+// Lookup finds the entry covering initial-region index lrn0, trying every
+// level currently present in the cache. It records a hit (with its LRU-half
+// attribution) or a miss, promotes a found entry to MRU, and returns it.
+func (c *Cache) Lookup(lrn0 uint64) (Entry, bool) {
+	for lvl := 0; lvl <= c.maxLevel; lvl++ {
+		if c.levels[lvl] == 0 {
+			continue
+		}
+		base := lrn0 &^ (uint64(1)<<lvl - 1)
+		if n, ok := c.index[pack(uint8(lvl), base)]; ok {
+			c.hits++
+			if n.firstHalf {
+				c.firstHits++
+			} else {
+				c.secondHits++
+			}
+			c.touch(n)
+			return n.Entry, true
+		}
+	}
+	c.misses++
+	return Entry{}, false
+}
+
+// Peek returns the entry covering lrn0 without touching LRU order or
+// counters.
+func (c *Cache) Peek(lrn0 uint64) (Entry, bool) {
+	for lvl := 0; lvl <= c.maxLevel; lvl++ {
+		if c.levels[lvl] == 0 {
+			continue
+		}
+		base := lrn0 &^ (uint64(1)<<lvl - 1)
+		if n, ok := c.index[pack(uint8(lvl), base)]; ok {
+			return n.Entry, true
+		}
+	}
+	return Entry{}, false
+}
+
+// Insert adds an entry at the MRU position, evicting the LRU entry if the
+// cache is full. It returns the evicted entry, if any. Inserting an entry
+// that already exists updates it in place (promoting it).
+func (c *Cache) Insert(e Entry) (evicted Entry, wasEvicted bool) {
+	key := pack(e.Level, e.Base)
+	if n, ok := c.index[key]; ok {
+		n.Entry = e
+		c.touch(n)
+		return Entry{}, false
+	}
+	if c.size == c.capacity {
+		lru := c.tail.prev
+		c.removeNode(lru)
+		evicted, wasEvicted = lru.Entry, true
+	}
+	n := &node{Entry: e, firstHalf: true}
+	c.index[key] = n
+	c.pushFront(n)
+	c.size++
+	c.firstCount++
+	c.levels[e.Level]++
+	if int(e.Level) > c.maxLevel {
+		c.maxLevel = int(e.Level)
+	}
+	c.rebalance()
+	return evicted, wasEvicted
+}
+
+// Remove deletes the entry with the given level and base, reporting whether
+// it was present.
+func (c *Cache) Remove(level uint8, base uint64) bool {
+	n, ok := c.index[pack(level, base)]
+	if !ok {
+		return false
+	}
+	c.removeNode(n)
+	return true
+}
+
+// Update rewrites the mapping of an existing entry in place without
+// changing LRU order. Returns false if absent.
+func (c *Cache) Update(level uint8, base uint64, prn, key uint64) bool {
+	n, ok := c.index[pack(level, base)]
+	if !ok {
+		return false
+	}
+	n.Prn = prn
+	n.Key = key
+	return true
+}
+
+// Entries returns a snapshot of cached entries in MRU-to-LRU order.
+func (c *Cache) Entries() []Entry {
+	out := make([]Entry, 0, c.size)
+	for n := c.head.next; n != c.tail; n = n.next {
+		out = append(out, n.Entry)
+	}
+	return out
+}
+
+// removeNode unlinks n and fixes half bookkeeping.
+func (c *Cache) removeNode(n *node) {
+	if c.mid == n {
+		c.mid = n.next
+		if c.mid == c.tail {
+			c.mid = nil
+		}
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	if n.firstHalf {
+		c.firstCount--
+	}
+	c.size--
+	c.levels[n.Level]--
+	delete(c.index, pack(n.Level, n.Base))
+	c.rebalance()
+}
+
+// pushFront links n as the MRU node.
+func (c *Cache) pushFront(n *node) {
+	n.next = c.head.next
+	n.prev = c.head
+	c.head.next.prev = n
+	c.head.next = n
+}
+
+// touch promotes n to MRU (LRU policy only), keeping the half split exact.
+func (c *Cache) touch(n *node) {
+	if c.policy == PolicyFIFO {
+		return // FIFO: hits do not reorder
+	}
+	if c.head.next == n {
+		return
+	}
+	fromSecond := !n.firstHalf
+	if c.mid == n {
+		c.mid = n.next
+		if c.mid == c.tail {
+			c.mid = nil
+		}
+	}
+	n.prev.next = n.next
+	n.next.prev = n.prev
+	c.pushFront(n)
+	if fromSecond {
+		n.firstHalf = true
+		c.firstCount++
+	}
+	c.rebalance()
+}
+
+// rebalance restores the invariant firstCount == ceil(size/2) by demoting
+// or promoting nodes at the half boundary. Each caller changes counts by at
+// most one, so this loop runs at most once per operation.
+func (c *Cache) rebalance() {
+	target := (c.size + 1) / 2
+	for c.firstCount > target {
+		// Demote the last first-half node: it is mid.prev, or the overall
+		// tail when there is no second half yet.
+		var b *node
+		if c.mid != nil {
+			b = c.mid.prev
+		} else {
+			b = c.tail.prev
+		}
+		b.firstHalf = false
+		c.firstCount--
+		c.mid = b
+	}
+	for c.firstCount < target {
+		// Promote the first second-half node.
+		b := c.mid
+		b.firstHalf = true
+		c.firstCount++
+		c.mid = b.next
+		if c.mid == c.tail {
+			c.mid = nil
+		}
+	}
+	if c.size == 0 {
+		c.mid = nil
+	}
+}
+
+// Stats exposes the hit counters.
+type Stats struct {
+	Hits       uint64
+	Misses     uint64
+	FirstHits  uint64
+	SecondHits uint64
+}
+
+// Stats returns cumulative counters.
+func (c *Cache) Stats() Stats {
+	return Stats{Hits: c.hits, Misses: c.misses, FirstHits: c.firstHits, SecondHits: c.secondHits}
+}
+
+// ResetHalfCounters clears the sub-queue hit counters (the split trigger
+// samples them per observation interval).
+func (c *Cache) ResetHalfCounters() {
+	c.firstHits, c.secondHits = 0, 0
+}
+
+// HitRate returns the cumulative hit rate (1 when no lookups yet).
+func (c *Cache) HitRate() float64 {
+	t := c.hits + c.misses
+	if t == 0 {
+		return 1
+	}
+	return float64(c.hits) / float64(t)
+}
+
+// AvgRegionLines returns the average region size (in initial-granularity
+// units) over cached entries, 0 when empty — the quantity Fig 13/14 plot
+// (scaled by the initial granularity).
+func (c *Cache) AvgRegionUnits() float64 {
+	if c.size == 0 {
+		return 0
+	}
+	var sum uint64
+	for n := c.head.next; n != c.tail; n = n.next {
+		sum += n.Span()
+	}
+	return float64(sum) / float64(c.size)
+}
+
+// String implements fmt.Stringer.
+func (c *Cache) String() string {
+	return fmt.Sprintf("cmt{%d/%d entries, hit=%.1f%%}", c.size, c.capacity, 100*c.HitRate())
+}
+
+// checkInvariants validates internal bookkeeping (test hook).
+func (c *Cache) checkInvariants() error {
+	count, first := 0, 0
+	sawMid := false
+	for n := c.head.next; n != c.tail; n = n.next {
+		count++
+		if n == c.mid {
+			sawMid = true
+		}
+		if n.firstHalf {
+			if sawMid {
+				return fmt.Errorf("first-half node after mid")
+			}
+			first++
+		} else if !sawMid && c.mid != nil {
+			return fmt.Errorf("second-half node before mid")
+		}
+	}
+	if count != c.size {
+		return fmt.Errorf("size %d, counted %d", c.size, count)
+	}
+	if first != c.firstCount {
+		return fmt.Errorf("firstCount %d, counted %d", c.firstCount, first)
+	}
+	if c.size > 0 && first != (c.size+1)/2 {
+		return fmt.Errorf("first half %d, want %d of %d", first, (c.size+1)/2, c.size)
+	}
+	if c.mid == nil && c.size-first > 0 {
+		return fmt.Errorf("mid nil with %d second-half nodes", c.size-first)
+	}
+	return nil
+}

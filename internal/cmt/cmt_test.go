@@ -1,0 +1,298 @@
+package cmt
+
+import (
+	"testing"
+
+	"nvmwear/internal/rng"
+)
+
+func TestBasicHitMiss(t *testing.T) {
+	c := New(4)
+	if _, ok := c.Lookup(5); ok {
+		t.Fatal("hit on empty cache")
+	}
+	c.Insert(Entry{Base: 5, Level: 0, Prn: 50, Key: 3})
+	e, ok := c.Lookup(5)
+	if !ok || e.Prn != 50 || e.Key != 3 {
+		t.Fatalf("lookup: %+v ok=%v", e, ok)
+	}
+	st := c.Stats()
+	if st.Hits != 1 || st.Misses != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestLevelCoverage(t *testing.T) {
+	c := New(4)
+	// A level-2 entry at base 8 covers initial regions 8..11.
+	c.Insert(Entry{Base: 8, Level: 2, Prn: 2, Key: 7})
+	for lrn := uint64(8); lrn < 12; lrn++ {
+		if e, ok := c.Lookup(lrn); !ok || e.Base != 8 {
+			t.Fatalf("lrn %d not covered: %+v ok=%v", lrn, e, ok)
+		}
+	}
+	if _, ok := c.Lookup(12); ok {
+		t.Fatal("lrn 12 wrongly covered")
+	}
+	if _, ok := c.Lookup(7); ok {
+		t.Fatal("lrn 7 wrongly covered")
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := uint64(0); i < 3; i++ {
+		c.Insert(Entry{Base: i})
+	}
+	c.Lookup(0) // 0 becomes MRU; LRU is 1
+	ev, was := c.Insert(Entry{Base: 9})
+	if !was || ev.Base != 1 {
+		t.Fatalf("evicted %+v (was=%v), want base 1", ev, was)
+	}
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("evicted entry still present")
+	}
+}
+
+func TestInsertExistingUpdates(t *testing.T) {
+	c := New(2)
+	c.Insert(Entry{Base: 1, Prn: 10})
+	c.Insert(Entry{Base: 2, Prn: 20})
+	if _, was := c.Insert(Entry{Base: 1, Prn: 99}); was {
+		t.Fatal("re-insert evicted")
+	}
+	if e, _ := c.Peek(1); e.Prn != 99 {
+		t.Fatal("re-insert did not update")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestRemoveAndUpdate(t *testing.T) {
+	c := New(4)
+	c.Insert(Entry{Base: 4, Level: 1, Prn: 1, Key: 2})
+	if !c.Update(1, 4, 9, 8) {
+		t.Fatal("update failed")
+	}
+	if e, _ := c.Peek(4); e.Prn != 9 || e.Key != 8 {
+		t.Fatal("update not applied")
+	}
+	if !c.Remove(1, 4) {
+		t.Fatal("remove failed")
+	}
+	if c.Remove(1, 4) {
+		t.Fatal("double remove succeeded")
+	}
+	if c.Len() != 0 {
+		t.Fatal("len after remove")
+	}
+	if c.Update(1, 4, 0, 0) {
+		t.Fatal("update on absent entry")
+	}
+}
+
+func TestHalfCounters(t *testing.T) {
+	c := New(4)
+	for i := uint64(0); i < 4; i++ {
+		c.Insert(Entry{Base: i})
+	}
+	// MRU order: 3,2,1,0. First half = {3,2}.
+	c.Lookup(3)
+	c.Lookup(2)
+	c.Lookup(0)
+	st := c.Stats()
+	if st.FirstHits != 2 || st.SecondHits != 1 {
+		t.Fatalf("half hits: %+v", st)
+	}
+	c.ResetHalfCounters()
+	if st := c.Stats(); st.FirstHits != 0 || st.SecondHits != 0 {
+		t.Fatal("reset failed")
+	}
+}
+
+// referenceLRU is a straightforward slice-based model.
+type referenceLRU struct {
+	keys []uint64 // MRU first
+	cap  int
+}
+
+func (r *referenceLRU) lookup(k uint64) (hit bool, firstHalf bool) {
+	for i, key := range r.keys {
+		if key == k {
+			firstHalf = i < (len(r.keys)+1)/2
+			copy(r.keys[1:i+1], r.keys[:i])
+			r.keys[0] = k
+			return true, firstHalf
+		}
+	}
+	return false, false
+}
+
+func (r *referenceLRU) insert(k uint64) {
+	if hit, _ := r.lookup(k); hit {
+		return
+	}
+	if len(r.keys) == r.cap {
+		r.keys = r.keys[:len(r.keys)-1]
+	}
+	r.keys = append([]uint64{k}, r.keys...)
+}
+
+func (r *referenceLRU) remove(k uint64) {
+	for i, key := range r.keys {
+		if key == k {
+			r.keys = append(r.keys[:i], r.keys[i+1:]...)
+			return
+		}
+	}
+}
+
+func TestAgainstReferenceModel(t *testing.T) {
+	const capacity = 17
+	c := New(capacity)
+	ref := &referenceLRU{cap: capacity}
+	src := rng.New(42)
+	for i := 0; i < 50000; i++ {
+		k := src.Uint64n(40)
+		switch src.Uint64n(10) {
+		case 0:
+			c.Remove(0, k)
+			ref.remove(k)
+		case 1, 2, 3:
+			c.Insert(Entry{Base: k})
+			ref.insert(k)
+		default:
+			wantHit, wantFirst := ref.lookup(k)
+			before := c.Stats()
+			_, gotHit := c.Lookup(k)
+			after := c.Stats()
+			if gotHit != wantHit {
+				t.Fatalf("op %d: hit=%v want %v (key %d)", i, gotHit, wantHit, k)
+			}
+			if gotHit {
+				gotFirst := after.FirstHits > before.FirstHits
+				if gotFirst != wantFirst {
+					t.Fatalf("op %d: firstHalf=%v want %v (key %d, size %d)",
+						i, gotFirst, wantFirst, k, c.Len())
+				}
+			}
+		}
+		if err := c.checkInvariants(); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+		if c.Len() != len(ref.keys) {
+			t.Fatalf("op %d: size %d, ref %d", i, c.Len(), len(ref.keys))
+		}
+	}
+}
+
+func TestEntriesOrder(t *testing.T) {
+	c := New(3)
+	c.Insert(Entry{Base: 1})
+	c.Insert(Entry{Base: 2})
+	c.Insert(Entry{Base: 3})
+	c.Lookup(1)
+	es := c.Entries()
+	if len(es) != 3 || es[0].Base != 1 || es[1].Base != 3 || es[2].Base != 2 {
+		t.Fatalf("order: %+v", es)
+	}
+}
+
+func TestAvgRegionUnits(t *testing.T) {
+	c := New(4)
+	if c.AvgRegionUnits() != 0 {
+		t.Fatal("empty avg")
+	}
+	c.Insert(Entry{Base: 0, Level: 0}) // 1 unit
+	c.Insert(Entry{Base: 4, Level: 2}) // 4 units
+	if got := c.AvgRegionUnits(); got != 2.5 {
+		t.Fatalf("avg = %v", got)
+	}
+}
+
+func TestHitRate(t *testing.T) {
+	c := New(2)
+	if c.HitRate() != 1 {
+		t.Fatal("fresh hit rate")
+	}
+	c.Insert(Entry{Base: 1})
+	c.Lookup(1)
+	c.Lookup(2)
+	if c.HitRate() != 0.5 {
+		t.Fatalf("hit rate %v", c.HitRate())
+	}
+}
+
+func TestCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New(0)
+}
+
+func TestMixedLevelsSameAddress(t *testing.T) {
+	// Caller may briefly have entries at multiple levels; lookup prefers
+	// the finest level (level scan order is ascending).
+	c := New(4)
+	c.Insert(Entry{Base: 4, Level: 2, Prn: 1})
+	c.Insert(Entry{Base: 5, Level: 0, Prn: 2})
+	e, ok := c.Lookup(5)
+	if !ok || e.Level != 0 {
+		t.Fatalf("wrong level preferred: %+v", e)
+	}
+}
+
+func BenchmarkLookupHit(b *testing.B) {
+	c := New(1 << 15)
+	for i := uint64(0); i < 1<<15; i++ {
+		c.Insert(Entry{Base: i})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Lookup(uint64(i) & (1<<15 - 1))
+	}
+}
+
+func TestFIFOPolicyDoesNotPromote(t *testing.T) {
+	c := NewWithPolicy(2, PolicyFIFO)
+	c.Insert(Entry{Base: 1})
+	c.Insert(Entry{Base: 2})
+	c.Lookup(1)              // would promote under LRU
+	c.Insert(Entry{Base: 3}) // FIFO evicts 1 (oldest insertion)
+	if _, ok := c.Peek(1); ok {
+		t.Fatal("FIFO promoted on hit")
+	}
+	if _, ok := c.Peek(2); !ok {
+		t.Fatal("FIFO evicted wrong entry")
+	}
+}
+
+// BenchmarkPolicyHitRate contrasts LRU vs FIFO hit rates on a skewed
+// stream — the ablation justifying the paper's LRU stack.
+func BenchmarkPolicyHitRate(b *testing.B) {
+	run := func(p Policy) float64 {
+		c := NewWithPolicy(256, p)
+		src := rng.New(7)
+		z := rng.NewZipf(src, 4096, 1.1)
+		for i := 0; i < 400000; i++ {
+			k := z.Next()
+			if _, ok := c.Lookup(k); !ok {
+				c.Insert(Entry{Base: k})
+			}
+		}
+		return c.HitRate()
+	}
+	var lru, fifo float64
+	for i := 0; i < b.N; i++ {
+		lru = run(PolicyLRU)
+		fifo = run(PolicyFIFO)
+	}
+	b.ReportMetric(100*lru, "LRU_hitPct")
+	b.ReportMetric(100*fifo, "FIFO_hitPct")
+	if lru <= fifo {
+		b.Fatalf("LRU (%v) not better than FIFO (%v) on skewed stream", lru, fifo)
+	}
+}

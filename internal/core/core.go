@@ -1,0 +1,507 @@
+// Package core implements the paper's contribution: the tiered wear-level
+// architecture with Self-Adaptive Wear Leveling (SAWL), Sec 3.
+//
+// The architecture (Fig 6) stores the full Integrated Mapping Table (IMT)
+// in a reserved area of the NVM, caches recently-used entries in a small
+// on-chip Cached Mapping Table (CMT), and wear-levels the translation lines
+// themselves through the Global Translation Directory (GTD). The data
+// exchange module runs the PCM-S hybrid algorithm (the paper adopts PCM-S
+// in its data exchange module, Sec 3.1) at whatever granularity each region
+// currently has.
+//
+// SAWL's novelty is making the wear-leveling granularity adaptive
+// (Sec 3.2): when the CMT hit rate stays below a low threshold for a
+// settling window, adjacent regions merge (each entry then covers more
+// addresses, raising the hit rate); when the hit rate stays high and the
+// hits concentrate in the first half of the LRU stack, regions split back
+// (finer granularity wears more evenly) — splits are free because the XOR
+// intra-region mapping keeps both halves physically contiguous (Fig 9/10).
+// With Adaptive=false the engine is exactly the paper's naive tiered
+// scheme, NWL-P.
+package core
+
+import (
+	"fmt"
+
+	"nvmwear/internal/addr"
+	"nvmwear/internal/cmt"
+	"nvmwear/internal/gtd"
+	"nvmwear/internal/imt"
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// Sample is a periodic snapshot passed to Config.OnSample — the data behind
+// Figs 12-14 (hit-rate and region-size trajectories).
+type Sample struct {
+	Requests       uint64  // total requests so far
+	HitRate        float64 // observation-window CMT hit rate
+	AvgRegionLines float64 // average cached region size in lines
+	Mode           Mode    // current adaptation mode
+}
+
+// Mode is the adaptation state.
+type Mode uint8
+
+// Adaptation modes.
+const (
+	ModeSteady Mode = iota
+	ModeMerge
+	ModeSplit
+)
+
+// String implements fmt.Stringer.
+func (m Mode) String() string {
+	switch m {
+	case ModeMerge:
+		return "merge"
+	case ModeSplit:
+		return "split"
+	default:
+		return "steady"
+	}
+}
+
+// Config parameterizes the tiered engine.
+type Config struct {
+	Lines    uint64 // M: logical data lines (power of two)
+	InitGran uint64 // P: initial wear-leveling granularity in lines (default 4)
+	// MaxGranLines caps the region size merges can reach (default 256).
+	MaxGranLines uint64
+	// Period is the data-exchange swapping period ψ: a region of Q lines
+	// exchanges after ψ*Q demand writes (default 128, the Sec 4.3/4.4
+	// setting).
+	Period uint64
+	// CMTEntries is the on-chip cache capacity in entries (default 32768 —
+	// a 256 KB CMT at 8 B per entry, Table 1).
+	CMTEntries int
+
+	// Adaptive enables region merge/split. Off = the naive tiered scheme
+	// (NWL) at fixed granularity InitGran.
+	Adaptive bool
+
+	// Thresholds and windows (Sec 3.2 and 4.2 defaults).
+	LowThreshold      float64 // region-merge threshold (default 0.90)
+	HighThreshold     float64 // region-split threshold (default 0.95)
+	SubQueueThreshold float64 // LRU sub-queue imbalance (default 0.99)
+	ObservationWindow uint64  // SOW (default 1<<22)
+	SettlingWindow    uint64  // SSW (default 1<<22)
+	CheckEvery        uint64  // hit-rate sampling interval (default 100000)
+
+	// Translation-table plumbing.
+	EntriesPerTransLine uint64 // K (default 6)
+	GTDGranularity      uint64 // Kt translation lines per GTD region (default 32)
+	GTDPeriod           uint64 // GTD swapping period (default 128)
+
+	Seed uint64
+
+	// OnSample, when set, is invoked every CheckEvery requests.
+	OnSample func(Sample)
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.InitGran == 0 {
+		c.InitGran = 4
+	}
+	if c.MaxGranLines == 0 {
+		c.MaxGranLines = 256
+	}
+	if c.Period == 0 {
+		c.Period = 128
+	}
+	if c.CMTEntries == 0 {
+		c.CMTEntries = 32768
+	}
+	if c.LowThreshold == 0 {
+		c.LowThreshold = 0.90
+	}
+	if c.HighThreshold == 0 {
+		c.HighThreshold = 0.95
+	}
+	if c.SubQueueThreshold == 0 {
+		c.SubQueueThreshold = 0.99
+	}
+	if c.ObservationWindow == 0 {
+		c.ObservationWindow = 1 << 22
+	}
+	if c.SettlingWindow == 0 {
+		c.SettlingWindow = 1 << 22
+	}
+	if c.CheckEvery == 0 {
+		c.CheckEvery = 100000
+	}
+	if c.EntriesPerTransLine == 0 {
+		c.EntriesPerTransLine = 6
+	}
+	if c.GTDGranularity == 0 {
+		c.GTDGranularity = 32
+	}
+	if c.GTDPeriod == 0 {
+		c.GTDPeriod = 128
+	}
+	return c
+}
+
+// TranslationArea returns the reserved-space geometry implied by the
+// configuration: the number of translation lines and the physical lines
+// they occupy once rounded to GTD regions.
+func (c Config) TranslationArea() (transLines, physLines uint64) {
+	c = c.withDefaults()
+	tl := imt.TranslationLines(c.Lines, c.InitGran, c.EntriesPerTransLine)
+	g := gtd.Config{Lines: tl, Granularity: c.GTDGranularity}
+	return tl, g.PhysLines()
+}
+
+// DeviceLines returns the total physical lines the engine needs: the data
+// space plus the reserved translation area.
+func (c Config) DeviceLines() uint64 {
+	_, phys := c.TranslationArea()
+	return c.Lines + phys
+}
+
+// Scheme is the tiered engine bound to a device.
+type Scheme struct {
+	cfg      Config
+	dev      *nvm.Device
+	p        uint64 // initial granularity in lines
+	nRegions uint64 // R0: initial-granularity regions
+	maxLevel uint8
+
+	table *imt.Table
+	dir   *gtd.Directory
+	cache *cmt.Cache
+	rev   []uint32 // physical initial slot -> logical initial region
+	ctr   []uint32 // demand-write counter, valid at each region's base
+
+	src  *rng.Source
+	bufA []uint64
+	bufB []uint64
+
+	window   *metrics.HitWindow
+	mode     Mode
+	lowRun   uint64
+	highRun  uint64
+	requests uint64
+
+	stats  wl.Stats
+	merges uint64
+	splits uint64
+}
+
+// New creates the engine over dev, which must provide cfg.DeviceLines()
+// physical lines.
+func New(dev *nvm.Device, cfg Config) *Scheme {
+	cfg = cfg.withDefaults()
+	if !addr.IsPow2(cfg.Lines) || !addr.IsPow2(cfg.InitGran) {
+		panic("core: Lines and InitGran must be powers of two")
+	}
+	if cfg.InitGran > cfg.Lines {
+		panic("core: granularity exceeds memory")
+	}
+	if !addr.IsPow2(cfg.MaxGranLines) || cfg.MaxGranLines < cfg.InitGran {
+		panic("core: MaxGranLines must be a power of two >= InitGran")
+	}
+	if dev.Lines() < cfg.DeviceLines() {
+		panic("core: device smaller than data + translation area")
+	}
+	transLines, _ := cfg.TranslationArea()
+	dir := gtd.New(dev, gtd.Config{
+		Base:        cfg.Lines,
+		Lines:       transLines,
+		Granularity: cfg.GTDGranularity,
+		Period:      cfg.GTDPeriod,
+		Seed:        cfg.Seed ^ 0x61d,
+	})
+	nRegions := cfg.Lines / cfg.InitGran
+	maxLevel := uint8(addr.Log2(cfg.MaxGranLines / cfg.InitGran))
+	// A region cannot outgrow the memory itself.
+	if uint64(1)<<maxLevel > nRegions {
+		maxLevel = uint8(addr.Log2(nRegions))
+	}
+	s := &Scheme{
+		cfg:      cfg,
+		dev:      dev,
+		p:        cfg.InitGran,
+		nRegions: nRegions,
+		maxLevel: maxLevel,
+		table:    imt.New(dir, cfg.Lines, cfg.InitGran, cfg.EntriesPerTransLine),
+		dir:      dir,
+		cache:    cmt.New(cfg.CMTEntries),
+		rev:      make([]uint32, nRegions),
+		ctr:      make([]uint32, nRegions),
+		src:      rng.New(cfg.Seed ^ 0x5a317a5317a53),
+		bufA:     make([]uint64, cfg.MaxGranLines),
+		bufB:     make([]uint64, cfg.MaxGranLines),
+		window:   metrics.NewHitWindow(cfg.ObservationWindow, 64),
+	}
+	for i := uint64(0); i < nRegions; i++ {
+		s.rev[i] = uint32(i)
+	}
+	return s
+}
+
+// lookup resolves the mapping entry covering initial region lrn0, going to
+// the IMT (and paying a translation-line read) on a CMT miss. It reports
+// whether the lookup hit the cache.
+func (s *Scheme) lookup(lrn0 uint64) (cmt.Entry, bool) {
+	if e, ok := s.cache.Lookup(lrn0); ok {
+		s.stats.CMTHits++
+		return e, true
+	}
+	s.stats.CMTMisses++
+	ent := s.table.Read(lrn0)
+	span := uint64(1) << ent.Level
+	q := s.p << ent.Level
+	e := cmt.Entry{
+		Base:  lrn0 &^ (span - 1),
+		Level: ent.Level,
+		Prn:   ent.D / q,
+		Key:   ent.D % q,
+	}
+	s.cache.Insert(e)
+	return e, false
+}
+
+// Translate implements wl.Leveler (no side effects).
+func (s *Scheme) Translate(lma uint64) uint64 {
+	return s.table.Translate(lma)
+}
+
+// Access implements wl.Leveler: the 7-step workflow of Fig 11 plus the
+// write-triggered data exchange and the adaptation hooks.
+func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
+	lrn0 := lma / s.p
+	e, hit := s.lookup(lrn0)
+	q := s.p << e.Level
+	pma := e.Prn*q + ((lma & (q - 1)) ^ e.Key)
+
+	if op == trace.Read {
+		s.stats.DataReads++
+		s.dev.Read(pma)
+	} else {
+		s.stats.DataWrites++
+		s.dev.Write(pma)
+		s.ctr[e.Base]++
+		if uint64(s.ctr[e.Base]) >= s.cfg.Period*q {
+			s.ctr[e.Base] = 0
+			// Sec 3.2 item 3: a pending region-merge is performed together
+			// with the wear-leveling trigger, so merge traffic is bounded
+			// by the swapping period instead of the miss rate.
+			if s.mode == ModeMerge {
+				if !s.tryMerge(e.Base) {
+					s.exchange(e.Base)
+				}
+			} else {
+				s.exchange(e.Base)
+			}
+		}
+	}
+	s.adapt(hit, lrn0)
+	return pma
+}
+
+// adapt drives the observation window, the mode state machine, and the
+// lazy merge/split application (Sec 3.2 item 3).
+func (s *Scheme) adapt(hit bool, lrn0 uint64) {
+	s.window.Record(hit)
+	s.requests++
+	if !s.cfg.Adaptive {
+		if s.requests%s.cfg.CheckEvery == 0 {
+			s.emitSample()
+		}
+		return
+	}
+	if s.requests%s.cfg.CheckEvery == 0 {
+		s.check()
+	}
+	// Region merges apply lazily: on the miss that faulted the region in
+	// (Sec 3.2 item 3 — merging only touches cached regions, and the
+	// merged data is staged in the controller so demand requests are
+	// served from the cached copy while the merge's writes drain in the
+	// background) and piggybacked on the data-exchange trigger (see
+	// Access). A region merges at most maxLevel times, so total merge
+	// traffic is bounded. Splits are free (no data movement), so they
+	// apply lazily on access.
+	switch s.mode {
+	case ModeMerge:
+		if !hit {
+			s.tryMerge(lrn0)
+		}
+	case ModeSplit:
+		s.trySplit(lrn0)
+	}
+}
+
+// check samples the runtime hit rate and updates the adaptation mode.
+func (s *Scheme) check() {
+	rate := s.window.Rate()
+	st := s.cache.Stats()
+	halves := st.FirstHits + st.SecondHits
+	firstShare := 1.0
+	if halves > 0 {
+		firstShare = float64(st.FirstHits) / float64(halves)
+	}
+	imbalanced := firstShare >= s.cfg.SubQueueThreshold ||
+		(1-firstShare) >= s.cfg.SubQueueThreshold
+	s.cache.ResetHalfCounters()
+
+	if rate < s.cfg.LowThreshold {
+		s.lowRun += s.cfg.CheckEvery
+	} else {
+		s.lowRun = 0
+	}
+	if rate > s.cfg.HighThreshold && imbalanced {
+		s.highRun += s.cfg.CheckEvery
+	} else {
+		s.highRun = 0
+	}
+	switch {
+	case s.lowRun >= s.cfg.SettlingWindow:
+		s.mode = ModeMerge
+	case s.highRun >= s.cfg.SettlingWindow:
+		s.mode = ModeSplit
+	default:
+		s.mode = ModeSteady
+	}
+	s.emitSample()
+}
+
+// emitSample invokes the sampling hook.
+func (s *Scheme) emitSample() {
+	if s.cfg.OnSample == nil {
+		return
+	}
+	s.cfg.OnSample(Sample{
+		Requests:       s.requests,
+		HitRate:        s.window.Rate(),
+		AvgRegionLines: s.cache.AvgRegionUnits() * float64(s.p),
+		Mode:           s.mode,
+	})
+}
+
+// Lines implements wl.Leveler.
+func (s *Scheme) Lines() uint64 { return s.cfg.Lines }
+
+// Name implements wl.Leveler.
+func (s *Scheme) Name() string {
+	if s.cfg.Adaptive {
+		return "SAWL"
+	}
+	return fmt.Sprintf("NWL-%d", s.p)
+}
+
+// Stats implements wl.Leveler, folding GTD traffic into the table counters.
+func (s *Scheme) Stats() wl.Stats {
+	st := s.stats
+	g := s.dir.Stats()
+	st.TableWrites = g.Writes
+	st.SwapWrites += g.SwapWrites // GTD exchanges are demand-blocking table maintenance
+	cs := s.cache.Stats()
+	st.CMTHits = cs.Hits
+	st.CMTMisses = cs.Misses
+	return st
+}
+
+// Merges returns the number of region-merge operations performed.
+func (s *Scheme) Merges() uint64 { return s.merges }
+
+// Splits returns the number of region-split operations performed.
+func (s *Scheme) Splits() uint64 { return s.splits }
+
+// Mode returns the current adaptation mode.
+func (s *Scheme) CurrentMode() Mode { return s.mode }
+
+// AvgRegionLines returns the average cached region size in lines.
+func (s *Scheme) AvgRegionLines() float64 {
+	return s.cache.AvgRegionUnits() * float64(s.p)
+}
+
+// OverheadBits implements wl.Leveler: CMT entries plus the GTD table. Each
+// CMT entry carries the lrn tag, level, prn and key — bounded by
+// 2*log2(M) + levelBits; we charge a hardware-realistic 64 bits.
+func (s *Scheme) OverheadBits() uint64 {
+	const entryBits = 64
+	return uint64(s.cfg.CMTEntries)*entryBits + s.dir.OverheadBits()
+}
+
+// Table exposes the IMT (read-only use by tests and the verifier).
+func (s *Scheme) Table() *imt.Table { return s.table }
+
+// CheckConsistency validates the engine's internal invariants: IMT level
+// encoding, rev-map agreement, and CMT coherence with the IMT. Tests call
+// it after stress runs.
+func (s *Scheme) CheckConsistency() error {
+	if err := s.table.VerifyLevels(); err != nil {
+		return err
+	}
+	// rev must be the inverse of the region mapping at initial granularity.
+	for i := uint64(0); i < s.nRegions; i++ {
+		base, _, e := s.table.Region(i)
+		if i != base {
+			continue
+		}
+		q := s.p << e.Level
+		prn := e.D / q
+		key := e.D % q
+		keyHigh := (key &^ (s.p - 1)) / s.p
+		span := uint64(1) << e.Level
+		for sub := uint64(0); sub < span; sub++ {
+			slot := prn*span + (sub ^ keyHigh)
+			if uint64(s.rev[slot]) != base+sub {
+				return fmt.Errorf("core: rev[%d] = %d, want %d (region %d level %d)",
+					slot, s.rev[slot], base+sub, base, e.Level)
+			}
+		}
+	}
+	// Every cached entry must match the IMT.
+	for _, ce := range s.cache.Entries() {
+		ent := s.table.Get(ce.Base)
+		if ent.Level != ce.Level {
+			return fmt.Errorf("core: CMT level %d != IMT level %d at base %d",
+				ce.Level, ent.Level, ce.Base)
+		}
+		q := s.p << ent.Level
+		if ce.Prn != ent.D/q || ce.Key != ent.D%q {
+			return fmt.Errorf("core: CMT entry stale at base %d", ce.Base)
+		}
+	}
+	return nil
+}
+
+// ForceMerge merges the region covering initial-region index lrn0 with its
+// buddy regardless of the adaptation mode (test/ablation hook). It reports
+// whether a merge happened.
+func (s *Scheme) ForceMerge(lrn0 uint64) bool { return s.tryMerge(lrn0) }
+
+// ForceSplit splits the region covering lrn0 regardless of the adaptation
+// mode (test/ablation hook).
+func (s *Scheme) ForceSplit(lrn0 uint64) { s.trySplit(lrn0) }
+
+// ForceExchange triggers the data exchange for the region covering lrn0
+// regardless of its write counter (test/ablation hook).
+func (s *Scheme) ForceExchange(lrn0 uint64) { s.exchange(lrn0) }
+
+// MergeAllOnce performs the naive stop-the-world alternative to lazy
+// merging that Sec 3.2 item 3 argues against: it merges every region one
+// level in a single burst, and returns the number of line writes the burst
+// cost. The lazy scheme spreads the same work across accesses instead of
+// stalling the system; BenchmarkAblation_LazyMerge contrasts the two.
+func (s *Scheme) MergeAllOnce() uint64 {
+	st := s.stats
+	before := st.MergeWrites + st.SwapWrites
+	for base := uint64(0); base < s.nRegions; {
+		b, span, e := s.table.Region(base)
+		_ = b
+		if e.Level < s.maxLevel {
+			s.tryMerge(base)
+			_, span, _ = s.table.Region(base)
+		}
+		base += span
+	}
+	st = s.stats
+	return st.MergeWrites + st.SwapWrites - before
+}

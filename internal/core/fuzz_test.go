@@ -1,0 +1,42 @@
+package core
+
+import (
+	"testing"
+
+	"nvmwear/internal/nvm"
+)
+
+// FuzzRecover feeds arbitrary bytes to the checkpoint decoder: it must
+// either reject them or produce a fully consistent engine — never panic,
+// never accept an inconsistent mapping.
+func FuzzRecover(f *testing.F) {
+	cfg := Config{
+		Lines: 1 << 8, InitGran: 4, MaxGranLines: 32,
+		Period: 16, CMTEntries: 16, Adaptive: true, Seed: 1,
+	}.withDefaults()
+	mk := func() *nvm.Device {
+		return nvm.New(nvm.Config{Lines: cfg.DeviceLines(), Endurance: 1 << 30})
+	}
+	// Seed with a valid checkpoint and mutations of it.
+	dev := mk()
+	s := New(dev, cfg)
+	s.ForceMerge(0)
+	s.ForceExchange(8)
+	valid := s.Checkpoint()
+	f.Add(valid)
+	f.Add([]byte{})
+	f.Add(valid[:len(valid)/2])
+	mut := append([]byte(nil), valid...)
+	mut[90] ^= 0x5a
+	f.Add(mut)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rec, err := Recover(mk(), cfg, data)
+		if err != nil {
+			return // rejected: fine
+		}
+		if err := rec.CheckConsistency(); err != nil {
+			t.Fatalf("accepted checkpoint yields inconsistent engine: %v", err)
+		}
+	})
+}

@@ -1,0 +1,159 @@
+package core
+
+// Property-based tests (testing/quick) for the structural-operation
+// algebra: random operation sequences must preserve the bijection, the
+// level encoding, the reverse map and data integrity; merge∘split must be
+// the identity on the mapping.
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl/wltest"
+)
+
+// TestPropertyRandomOpSequences drives random sequences of structural
+// operations over small engines and verifies every invariant after each
+// sequence.
+func TestPropertyRandomOpSequences(t *testing.T) {
+	err := quick.Check(func(ops []uint16, seedByte uint8) bool {
+		cfg := Config{
+			Lines:        1 << 9,
+			InitGran:     4,
+			MaxGranLines: 64,
+			Period:       1 << 20, // triggers controlled manually
+			CMTEntries:   16,
+			Adaptive:     true,
+			Seed:         uint64(seedByte),
+		}
+		cfg = cfg.withDefaults()
+		dev, s := newScheme(nil, cfg)
+		wltest.Fill(dev, s)
+		if len(ops) > 120 {
+			ops = ops[:120]
+		}
+		for _, op := range ops {
+			lrn := uint64(op>>2) % (cfg.Lines / cfg.InitGran)
+			switch op & 3 {
+			case 0:
+				s.tryMerge(lrn)
+			case 1:
+				s.trySplit(lrn)
+			case 2:
+				s.exchange(lrn)
+			case 3:
+				s.Access(trace.Write, uint64(op)%cfg.Lines)
+			}
+		}
+		if err := s.CheckConsistency(); err != nil {
+			t.Logf("consistency: %v", err)
+			return false
+		}
+		// Bijection + integrity.
+		seen := make(map[uint64]bool, cfg.Lines)
+		for lma := uint64(0); lma < cfg.Lines; lma++ {
+			pma := s.Translate(lma)
+			if pma >= cfg.Lines || seen[pma] {
+				t.Logf("bijection broken at %d -> %d", lma, pma)
+				return false
+			}
+			seen[pma] = true
+			if dev.Peek(pma) != wltest.Tag(lma) {
+				t.Logf("data lost at %d", lma)
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 60})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyMergeSplitRoundTrip: merging a region pair and splitting the
+// result restores exactly the merged halves' mapping (data positions never
+// moved back, but the *translation* of every line must be unchanged from
+// the post-merge state, and the split itself moves nothing).
+func TestPropertyMergeSplitRoundTrip(t *testing.T) {
+	err := quick.Check(func(lrnRaw uint16, seedByte uint8) bool {
+		cfg := Config{
+			Lines: 1 << 9, InitGran: 4, MaxGranLines: 64,
+			Period: 1 << 20, CMTEntries: 16, Adaptive: true,
+			Seed: uint64(seedByte),
+		}
+		cfg = cfg.withDefaults()
+		dev, s := newScheme(nil, cfg)
+		wltest.Fill(dev, s)
+		// Randomize placement a little.
+		s.exchange(uint64(lrnRaw) % 128)
+		s.exchange(uint64(lrnRaw/2) % 128)
+		lrn := uint64(lrnRaw) % 128
+		if !s.tryMerge(lrn) {
+			return true // refused (cap/edge) — nothing to check
+		}
+		after := make([]uint64, cfg.Lines)
+		for lma := uint64(0); lma < cfg.Lines; lma++ {
+			after[lma] = s.Translate(lma)
+		}
+		pre := dev.Stats().TotalWrites
+		s.trySplit(lrn)
+		// Split moved no data lines (only translation lines wear).
+		if dev.Stats().TotalWrites-pre > 4 {
+			t.Logf("split cost %d device writes", dev.Stats().TotalWrites-pre)
+			return false
+		}
+		for lma := uint64(0); lma < cfg.Lines; lma++ {
+			if s.Translate(lma) != after[lma] {
+				t.Logf("translation changed by split at %d", lma)
+				return false
+			}
+		}
+		return s.CheckConsistency() == nil
+	}, &quick.Config{MaxCount: 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyCheckpointAlwaysRecoverable: any reachable engine state must
+// checkpoint and recover to an identical mapping.
+func TestPropertyCheckpointAlwaysRecoverable(t *testing.T) {
+	err := quick.Check(func(ops []uint16, seedByte uint8) bool {
+		cfg := Config{
+			Lines: 1 << 9, InitGran: 4, MaxGranLines: 64,
+			Period: 16, CMTEntries: 16, Adaptive: true,
+			Seed: uint64(seedByte),
+		}
+		cfg = cfg.withDefaults()
+		dev, s := newScheme(nil, cfg)
+		if len(ops) > 80 {
+			ops = ops[:80]
+		}
+		for _, op := range ops {
+			lrn := uint64(op>>2) % 128
+			switch op & 3 {
+			case 0:
+				s.tryMerge(lrn)
+			case 1:
+				s.trySplit(lrn)
+			default:
+				s.Access(trace.Write, uint64(op)%cfg.Lines)
+			}
+		}
+		rec, err := Recover(dev, cfg, s.Checkpoint())
+		if err != nil {
+			t.Logf("recover: %v", err)
+			return false
+		}
+		for lma := uint64(0); lma < cfg.Lines; lma++ {
+			if rec.Translate(lma) != s.Translate(lma) {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"testing"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl/wltest"
+)
+
+// crashHarness exercises a SAWL instance (merges, splits, exchanges),
+// checkpoints it, and returns everything needed to simulate the crash.
+func crashHarness(t *testing.T) (cfg Config, dev *nvm.Device, s *Scheme, ckpt []byte) {
+	t.Helper()
+	cfg = small(true)
+	dev2, s2 := newScheme(t, cfg)
+	wltest.Fill(dev2, s2)
+	src := rng.New(55)
+	for i := 0; i < 80000; i++ {
+		op := trace.Read
+		if src.Bool(0.7) {
+			op = trace.Write
+		}
+		s2.Access(op, src.Uint64n(cfg.Lines))
+	}
+	// Force structural variety so the checkpoint carries nontrivial state.
+	s2.ForceMerge(0)
+	s2.ForceMerge(8)
+	s2.ForceExchange(16)
+	s2.ForceMerge(16)
+	s2.ForceSplit(0)
+	if err := s2.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	return cfg, dev2, s2, s2.Checkpoint()
+}
+
+func TestCheckpointRecoverRoundTrip(t *testing.T) {
+	cfg, dev, orig, ckpt := crashHarness(t)
+
+	// "Power failure": the controller state is gone; the device and the
+	// checkpoint survive.
+	rec, err := Recover(dev, cfg, ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every translation must be identical to the pre-crash mapping.
+	for lma := uint64(0); lma < cfg.Lines; lma++ {
+		if got, want := rec.Translate(lma), orig.Translate(lma); got != want {
+			t.Fatalf("Translate(%d) = %d after recovery, want %d", lma, got, want)
+		}
+	}
+	if err := rec.CheckConsistency(); err != nil {
+		t.Fatal(err)
+	}
+	// Data written before the crash is still readable through the
+	// recovered mapping.
+	wltest.CheckIntegrity(t, dev, rec)
+	if rec.CurrentMode() != orig.CurrentMode() {
+		t.Fatalf("mode %v after recovery, want %v", rec.CurrentMode(), orig.CurrentMode())
+	}
+	if rec.Merges() != orig.Merges() || rec.Splits() != orig.Splits() {
+		t.Fatal("adaptation counters not restored")
+	}
+	// The recovered system keeps working.
+	wltest.Exercise(t, dev, rec, 20000, 77)
+}
+
+func TestRecoverRejectsCorruptedCheckpoint(t *testing.T) {
+	cfg, dev, _, ckpt := crashHarness(t)
+	for name, corrupt := range map[string]func([]byte) []byte{
+		"empty":     func(b []byte) []byte { return nil },
+		"magic":     func(b []byte) []byte { c := append([]byte(nil), b...); c[0] ^= 0xff; return c },
+		"truncated": func(b []byte) []byte { return b[:len(b)/2] },
+		"imt": func(b []byte) []byte {
+			c := append([]byte(nil), b...)
+			// Flip a byte inside the IMT entry area (after the 61-byte
+			// header) to break the level adjacency encoding.
+			c[80] ^= 0xff
+			return c
+		},
+	} {
+		if _, err := Recover(dev, cfg, corrupt(ckpt)); err == nil {
+			t.Errorf("%s: corrupted checkpoint accepted", name)
+		}
+	}
+}
+
+func TestRecoverRejectsGeometryMismatch(t *testing.T) {
+	cfg, _, _, ckpt := crashHarness(t)
+	other := cfg
+	other.Lines = cfg.Lines * 2
+	dev2, _ := newScheme(t, other)
+	if _, err := Recover(dev2, other, ckpt); err == nil {
+		t.Fatal("geometry mismatch accepted")
+	}
+}
+
+func TestCheckpointDeterministic(t *testing.T) {
+	_, _, s, ckpt := crashHarness(t)
+	if string(s.Checkpoint()) != string(ckpt) {
+		t.Fatal("checkpoint not deterministic for unchanged state")
+	}
+}

@@ -1,0 +1,201 @@
+// Package imt implements the Integrated Mapping Table (paper Sec 3.1-3.2,
+// Fig 6 and Fig 10).
+//
+// The IMT holds one entry per initial-granularity region: the packed
+// address information D = prn*Q + key, where Q is the region's *current*
+// wear-leveling granularity in lines. The table's size is fixed by the
+// initial granularity P (number of entries = M/P); region merges and splits
+// never change the table size — a merged super-region of n*P lines simply
+// stores identical address information in all n of its sub-entries, and the
+// real granularity is recoverable from how many adjacent entries agree
+// (Sec 3.2 item 3). This package additionally tracks each entry's level
+// explicitly for O(1) access; VerifyLevels cross-checks the explicit levels
+// against the adjacency encoding, and tests rely on it.
+//
+// Entries are packed K per translation line (K = 6 in the paper's design).
+// The table lives in a reserved area of the NVM device, so every entry
+// update wears a translation line; reads and writes are routed through the
+// GTD, which wear-levels the reserved area itself.
+package imt
+
+import (
+	"fmt"
+
+	"nvmwear/internal/addr"
+	"nvmwear/internal/gtd"
+)
+
+// Entry is one region mapping at its current granularity.
+type Entry struct {
+	D     uint64 // packed prn*Q + key (Q = P << Level lines)
+	Level uint8
+}
+
+// Table is an IMT instance.
+type Table struct {
+	dir            *gtd.Directory
+	initGran       uint64 // P
+	dataLines      uint64 // M
+	entriesPerLine uint64 // K
+
+	entries []uint64
+	levels  []uint8
+}
+
+// New creates the table with the identity mapping at level 0. dir handles
+// translation-line wear; entriesPerLine is K (the paper uses 6).
+func New(dir *gtd.Directory, dataLines, initGran, entriesPerLine uint64) *Table {
+	if !addr.IsPow2(dataLines) || !addr.IsPow2(initGran) {
+		panic("imt: dataLines and initGran must be powers of two")
+	}
+	if initGran > dataLines {
+		panic("imt: granularity exceeds memory")
+	}
+	if entriesPerLine == 0 {
+		panic("imt: zero entries per line")
+	}
+	n := dataLines / initGran
+	t := &Table{
+		dir:            dir,
+		initGran:       initGran,
+		dataLines:      dataLines,
+		entriesPerLine: entriesPerLine,
+		entries:        make([]uint64, n),
+		levels:         make([]uint8, n),
+	}
+	for i := uint64(0); i < n; i++ {
+		t.entries[i] = i * initGran // prn=i, key=0
+	}
+	return t
+}
+
+// TranslationLines returns the number of translation lines the table packs
+// into — the size the GTD must manage.
+func TranslationLines(dataLines, initGran, entriesPerLine uint64) uint64 {
+	n := dataLines / initGran
+	return (n + entriesPerLine - 1) / entriesPerLine
+}
+
+// NumEntries returns the number of (initial-granularity) entries.
+func (t *Table) NumEntries() uint64 { return uint64(len(t.entries)) }
+
+// InitGran returns P.
+func (t *Table) InitGran() uint64 { return t.initGran }
+
+// lineOf returns the translation line holding entry idx.
+func (t *Table) lineOf(idx uint64) uint64 { return idx / t.entriesPerLine }
+
+// Get returns entry idx without touching the device (used when the entry
+// is already cached on chip).
+func (t *Table) Get(idx uint64) Entry {
+	return Entry{D: t.entries[idx], Level: t.levels[idx]}
+}
+
+// Read returns entry idx, accounting one translation-line read through the
+// GTD — the CMT-miss path of Fig 11 step 3.
+func (t *Table) Read(idx uint64) Entry {
+	t.dir.Read(t.lineOf(idx))
+	return t.Get(idx)
+}
+
+// SetRange updates entries [base, base+span) to the same address info —
+// one region at granularity span*P. It writes each affected translation
+// line once through the GTD.
+func (t *Table) SetRange(base, span uint64, d uint64, level uint8) {
+	if base%span != 0 || span != uint64(1)<<level {
+		panic(fmt.Sprintf("imt: SetRange base %d span %d level %d misaligned", base, span, level))
+	}
+	for i := base; i < base+span; i++ {
+		t.entries[i] = d
+		t.levels[i] = level
+	}
+	first, last := t.lineOf(base), t.lineOf(base+span-1)
+	for l := first; l <= last; l++ {
+		t.dir.Write(l)
+	}
+}
+
+// Region returns the super-region descriptor covering entry idx: its
+// aligned base, span (in entries) and mapping.
+func (t *Table) Region(idx uint64) (base, span uint64, e Entry) {
+	e = t.Get(idx)
+	span = uint64(1) << e.Level
+	base = idx &^ (span - 1)
+	return base, span, e
+}
+
+// Granularity returns the region size in lines for entry idx.
+func (t *Table) Granularity(idx uint64) uint64 {
+	return t.initGran << t.levels[idx]
+}
+
+// Translate maps a logical line address through the table (no device
+// accounting; callers account CMT/IMT traffic).
+func (t *Table) Translate(lma uint64) uint64 {
+	idx := lma / t.initGran
+	q := t.initGran << t.levels[idx]
+	return addr.Translate(lma, t.entries[idx], q)
+}
+
+// VerifyLevels cross-checks the explicit level array against the paper's
+// adjacency encoding: a level-l region must consist of 2^l aligned entries
+// holding identical D, and its neighbors at the same alignment must differ.
+// Returns the first inconsistency found, or nil.
+func (t *Table) VerifyLevels() error {
+	n := uint64(len(t.entries))
+	for i := uint64(0); i < n; {
+		lvl := t.levels[i]
+		if uint64(lvl) >= 64 || uint64(1)<<lvl > n {
+			return fmt.Errorf("imt: entry %d level %d exceeds table", i, lvl)
+		}
+		span := uint64(1) << lvl
+		if i%span != 0 {
+			return fmt.Errorf("imt: entry %d level %d misaligned", i, lvl)
+		}
+		d := t.entries[i]
+		for j := i; j < i+span; j++ {
+			if j >= n {
+				return fmt.Errorf("imt: region at %d overruns table", i)
+			}
+			if t.entries[j] != d {
+				return fmt.Errorf("imt: entry %d disagrees with region base %d", j, i)
+			}
+			if t.levels[j] != lvl {
+				return fmt.Errorf("imt: entry %d level %d != region level %d", j, t.levels[j], lvl)
+			}
+		}
+		// The buddy range must hold different info (otherwise the regions
+		// would be indistinguishable from a merged region).
+		buddy := i ^ span
+		if buddy < n && t.levels[buddy] == lvl && t.entries[buddy] == d {
+			return fmt.Errorf("imt: region %d and buddy %d identical but not merged", i, buddy)
+		}
+		i += span
+	}
+	return nil
+}
+
+// NVMBits returns the reserved-space cost of the table in bits: one
+// log2(M)-bit entry per initial region (Sec 4.5).
+func (t *Table) NVMBits() uint64 {
+	return t.NumEntries() * uint64(addr.Log2(t.dataLines))
+}
+
+// Load replaces the table contents wholesale (crash recovery: the entries
+// represent NVM-resident translation lines that survived power loss). The
+// level encoding is verified before the table is accepted; no device
+// writes are charged (the data is already on the device).
+func (t *Table) Load(entries []uint64, levels []uint8) error {
+	if uint64(len(entries)) != t.NumEntries() || uint64(len(levels)) != t.NumEntries() {
+		return fmt.Errorf("imt: load size mismatch")
+	}
+	old := t.entries
+	oldLv := t.levels
+	t.entries = append([]uint64(nil), entries...)
+	t.levels = append([]uint8(nil), levels...)
+	if err := t.VerifyLevels(); err != nil {
+		t.entries, t.levels = old, oldLv
+		return err
+	}
+	return nil
+}

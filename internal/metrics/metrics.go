@@ -1,0 +1,174 @@
+// Package metrics provides the statistics used throughout the evaluation:
+// wear-distribution summaries (Gini coefficient, min/max/mean), harmonic
+// means for cross-benchmark aggregation (the paper reports Hmean in Fig 16
+// and 17), histograms, and the sliding windows that SAWL uses to observe the
+// runtime cache hit rate (Sec 4.2).
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary holds order statistics of a sample.
+type Summary struct {
+	N      int
+	Min    float64
+	Max    float64
+	Mean   float64
+	Stddev float64
+}
+
+// Summarize computes a Summary of xs. An empty sample yields a zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	var sum, sumSq float64
+	for _, x := range xs {
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+		sum += x
+		sumSq += x * x
+	}
+	s.Mean = sum / float64(s.N)
+	variance := sumSq/float64(s.N) - s.Mean*s.Mean
+	if variance > 0 {
+		s.Stddev = math.Sqrt(variance)
+	}
+	return s
+}
+
+// HarmonicMean returns the harmonic mean of xs, the aggregation the paper
+// uses for per-benchmark lifetimes. Zero or negative entries would make the
+// harmonic mean undefined; they are treated as the smallest positive value
+// present (or 0 if all entries are nonpositive, yielding 0).
+func HarmonicMean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	minPos := math.MaxFloat64
+	for _, x := range xs {
+		if x > 0 && x < minPos {
+			minPos = x
+		}
+	}
+	if minPos == math.MaxFloat64 {
+		return 0
+	}
+	var inv float64
+	for _, x := range xs {
+		if x <= 0 {
+			x = minPos
+		}
+		inv += 1 / x
+	}
+	return float64(len(xs)) / inv
+}
+
+// GiniUint32 computes the Gini coefficient of a non-negative integer sample
+// (per-line write counts). 0 means perfectly uniform wear; values near 1
+// mean writes concentrated on few lines. Returns 0 for empty or all-zero
+// samples.
+func GiniUint32(xs []uint32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]uint32, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		total += float64(x)
+		cum += float64(x) * (n - float64(i))
+	}
+	if total == 0 {
+		return 0
+	}
+	return (n + 1 - 2*cum/total) / n
+}
+
+// CoV returns the coefficient of variation (stddev/mean) of per-line write
+// counts, another standard wear-uniformity measure. Returns 0 if the mean
+// is 0.
+func CoV(xs []uint32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		f := float64(x)
+		sum += f
+		sumSq += f * f
+	}
+	n := float64(len(xs))
+	mean := sum / n
+	if mean == 0 {
+		return 0
+	}
+	variance := sumSq/n - mean*mean
+	if variance <= 0 {
+		return 0
+	}
+	return math.Sqrt(variance) / mean
+}
+
+// Histogram is a fixed-width histogram over [0, max).
+type Histogram struct {
+	Width   float64
+	Buckets []uint64
+	Over    uint64 // samples >= Width*len(Buckets)
+	Count   uint64
+}
+
+// NewHistogram creates a histogram with n buckets of the given width.
+func NewHistogram(n int, width float64) *Histogram {
+	if n <= 0 || width <= 0 {
+		panic("metrics: NewHistogram with nonpositive size")
+	}
+	return &Histogram{Width: width, Buckets: make([]uint64, n)}
+}
+
+// Add records one sample.
+func (h *Histogram) Add(x float64) {
+	h.Count++
+	if x < 0 {
+		x = 0
+	}
+	i := int(x / h.Width)
+	if i >= len(h.Buckets) {
+		h.Over++
+		return
+	}
+	h.Buckets[i]++
+}
+
+// Quantile returns an upper bound for the q-quantile (0 <= q <= 1) using
+// bucket boundaries.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return 0
+	}
+	target := uint64(q * float64(h.Count))
+	var cum uint64
+	for i, b := range h.Buckets {
+		cum += b
+		if cum > target {
+			return float64(i+1) * h.Width
+		}
+	}
+	return float64(len(h.Buckets)) * h.Width
+}
+
+// String renders a compact summary.
+func (h *Histogram) String() string {
+	return fmt.Sprintf("hist{n=%d, p50=%.3g, p99=%.3g, over=%d}",
+		h.Count, h.Quantile(0.5), h.Quantile(0.99), h.Over)
+}

@@ -1,0 +1,219 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Min != 1 || s.Max != 4 || s.Mean != 2.5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if math.Abs(s.Stddev-math.Sqrt(1.25)) > 1e-12 {
+		t.Fatalf("stddev = %v", s.Stddev)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Fatalf("empty summary: %+v", z)
+	}
+}
+
+func TestHarmonicMean(t *testing.T) {
+	if hm := HarmonicMean([]float64{1, 1, 1}); math.Abs(hm-1) > 1e-12 {
+		t.Fatalf("hmean of ones = %v", hm)
+	}
+	// Classic: hmean(40, 60) = 48.
+	if hm := HarmonicMean([]float64{40, 60}); math.Abs(hm-48) > 1e-9 {
+		t.Fatalf("hmean(40,60) = %v", hm)
+	}
+	if hm := HarmonicMean(nil); hm != 0 {
+		t.Fatalf("hmean(nil) = %v", hm)
+	}
+	if hm := HarmonicMean([]float64{0, 0}); hm != 0 {
+		t.Fatalf("hmean(zeros) = %v", hm)
+	}
+	// A zero entry is clamped to the smallest positive value, not dropped.
+	hm := HarmonicMean([]float64{0, 10})
+	if hm <= 0 || hm > 10 {
+		t.Fatalf("hmean(0,10) = %v", hm)
+	}
+}
+
+func TestHarmonicLEQArithmetic(t *testing.T) {
+	err := quick.Check(func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 0 && !math.IsInf(x, 0) && !math.IsNaN(x) && x < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		return HarmonicMean(xs) <= Summarize(xs).Mean*(1+1e-9)
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniUniformIsZero(t *testing.T) {
+	xs := make([]uint32, 1000)
+	for i := range xs {
+		xs[i] = 7
+	}
+	if g := GiniUint32(xs); math.Abs(g) > 1e-9 {
+		t.Fatalf("gini(uniform) = %v", g)
+	}
+}
+
+func TestGiniConcentratedNearOne(t *testing.T) {
+	xs := make([]uint32, 1000)
+	xs[0] = 1000000
+	g := GiniUint32(xs)
+	if g < 0.99 {
+		t.Fatalf("gini(concentrated) = %v", g)
+	}
+}
+
+func TestGiniRange(t *testing.T) {
+	err := quick.Check(func(xs []uint32) bool {
+		g := GiniUint32(xs)
+		return g >= -1e-9 && g <= 1+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGiniEdgeCases(t *testing.T) {
+	if GiniUint32(nil) != 0 {
+		t.Error("gini(nil) != 0")
+	}
+	if GiniUint32([]uint32{0, 0, 0}) != 0 {
+		t.Error("gini(zeros) != 0")
+	}
+}
+
+func TestCoV(t *testing.T) {
+	if CoV([]uint32{5, 5, 5, 5}) != 0 {
+		t.Error("CoV(uniform) != 0")
+	}
+	if CoV(nil) != 0 {
+		t.Error("CoV(nil) != 0")
+	}
+	if c := CoV([]uint32{0, 10}); math.Abs(c-1) > 1e-9 {
+		t.Errorf("CoV(0,10) = %v, want 1", c)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 1.0)
+	for i := 0; i < 100; i++ {
+		h.Add(float64(i%10) + 0.5)
+	}
+	if h.Count != 100 || h.Over != 0 {
+		t.Fatalf("count=%d over=%d", h.Count, h.Over)
+	}
+	for i, b := range h.Buckets {
+		if b != 10 {
+			t.Fatalf("bucket %d = %d", i, b)
+		}
+	}
+	h.Add(1e9)
+	if h.Over != 1 {
+		t.Fatal("overflow not recorded")
+	}
+	h.Add(-5)
+	if h.Buckets[0] != 11 {
+		t.Fatal("negative sample not clamped to bucket 0")
+	}
+	if q := h.Quantile(0.5); q < 4 || q > 7 {
+		t.Fatalf("median = %v", q)
+	}
+	if h.String() == "" {
+		t.Fatal("empty String()")
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewHistogram(0, 1)
+}
+
+func TestHitWindowExact(t *testing.T) {
+	w := NewHitWindow(100, 10)
+	for i := 0; i < 50; i++ {
+		w.Record(true)
+	}
+	for i := 0; i < 50; i++ {
+		w.Record(false)
+	}
+	if r := w.Rate(); math.Abs(r-0.5) > 1e-9 {
+		t.Fatalf("rate = %v", r)
+	}
+	if w.Events() != 100 {
+		t.Fatalf("events = %d", w.Events())
+	}
+}
+
+func TestHitWindowSlides(t *testing.T) {
+	w := NewHitWindow(100, 10)
+	for i := 0; i < 100; i++ {
+		w.Record(false)
+	}
+	// Now fill with hits; old misses must age out.
+	for i := 0; i < 200; i++ {
+		w.Record(true)
+	}
+	if r := w.Rate(); r < 0.95 {
+		t.Fatalf("stale misses not evicted: rate = %v", r)
+	}
+	if !w.Full() {
+		t.Fatal("window not marked full")
+	}
+}
+
+func TestHitWindowEmptyRateIsOne(t *testing.T) {
+	w := NewHitWindow(10, 2)
+	if w.Rate() != 1 {
+		t.Fatalf("empty rate = %v", w.Rate())
+	}
+}
+
+func TestHitWindowReset(t *testing.T) {
+	w := NewHitWindow(10, 2)
+	for i := 0; i < 20; i++ {
+		w.Record(false)
+	}
+	w.Reset()
+	if w.Events() != 0 || w.Full() || w.Rate() != 1 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestHitWindowDegenerateSizes(t *testing.T) {
+	w := NewHitWindow(0, 0) // must clamp, not panic
+	w.Record(true)
+	if w.Rate() != 1 {
+		t.Fatalf("rate = %v", w.Rate())
+	}
+}
+
+func TestSeries(t *testing.T) {
+	var s Series
+	s.Append(1, 10)
+	s.Append(2, 20)
+	if s.Len() != 2 || s.MeanY() != 15 {
+		t.Fatalf("series: %+v", s)
+	}
+	var empty Series
+	if empty.MeanY() != 0 {
+		t.Fatal("empty MeanY != 0")
+	}
+}

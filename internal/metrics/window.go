@@ -1,0 +1,120 @@
+package metrics
+
+// HitWindow measures a hit rate over a fixed-size observation window of
+// recent events, the mechanism SAWL uses to sample the runtime cache hit
+// rate (paper Sec 4.2: "size of the observation window", SOW).
+//
+// To keep the per-event cost O(1) without storing SOW booleans, the window
+// is maintained as a ring of coarse sub-buckets: the window slides in steps
+// of window/buckets events. This matches the paper's usage, which samples
+// the hit rate every 100k requests rather than continuously.
+type HitWindow struct {
+	bucketCap uint64 // events per sub-bucket
+	hits      []uint64
+	total     []uint64
+	cur       int
+	curCount  uint64
+	filled    bool
+}
+
+// NewHitWindow returns a window covering `window` events using `buckets`
+// ring slots. window must be >= buckets >= 1.
+func NewHitWindow(window uint64, buckets int) *HitWindow {
+	if buckets < 1 {
+		buckets = 1
+	}
+	if window < uint64(buckets) {
+		window = uint64(buckets)
+	}
+	return &HitWindow{
+		bucketCap: window / uint64(buckets),
+		hits:      make([]uint64, buckets),
+		total:     make([]uint64, buckets),
+	}
+}
+
+// Record adds one event.
+func (w *HitWindow) Record(hit bool) {
+	if w.curCount == w.bucketCap {
+		w.cur++
+		if w.cur == len(w.hits) {
+			w.cur = 0
+			w.filled = true
+		}
+		w.hits[w.cur] = 0
+		w.total[w.cur] = 0
+		w.curCount = 0
+	}
+	w.curCount++
+	w.total[w.cur]++
+	if hit {
+		w.hits[w.cur]++
+	}
+}
+
+// Rate returns the hit rate over the window. Before any event it returns 1,
+// so that a freshly reset window never looks like a low-hit-rate emergency.
+func (w *HitWindow) Rate() float64 {
+	var h, t uint64
+	for i := range w.hits {
+		h += w.hits[i]
+		t += w.total[i]
+	}
+	if t == 0 {
+		return 1
+	}
+	return float64(h) / float64(t)
+}
+
+// Events returns the number of events currently covered by the window.
+func (w *HitWindow) Events() uint64 {
+	var t uint64
+	for _, v := range w.total {
+		t += v
+	}
+	return t
+}
+
+// Full reports whether the window has seen at least one full span of events.
+func (w *HitWindow) Full() bool { return w.filled }
+
+// Reset clears the window.
+func (w *HitWindow) Reset() {
+	for i := range w.hits {
+		w.hits[i] = 0
+		w.total[i] = 0
+	}
+	w.cur = 0
+	w.curCount = 0
+	w.filled = false
+}
+
+// Series records (x, y) points for figure regeneration: the benches emit the
+// same time series the paper plots (hit rate vs. runtime, region size vs.
+// runtime).
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+}
+
+// Append adds a point.
+func (s *Series) Append(x, y float64) {
+	s.X = append(s.X, x)
+	s.Y = append(s.Y, y)
+}
+
+// Len returns the number of points.
+func (s *Series) Len() int { return len(s.X) }
+
+// MeanY returns the average of the Y values (0 if empty).
+func (s *Series) MeanY() float64 {
+	if len(s.Y) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, y := range s.Y {
+		sum += y
+	}
+	return sum / float64(len(s.Y))
+}

@@ -1,0 +1,268 @@
+// Package nvm models an MLC NVM main-memory device at line granularity.
+//
+// The model captures exactly what the paper's lifetime evaluation needs
+// (Sec 2.2, 4.3): a per-line write counter, a per-line endurance limit
+// (10^5-10^6 writes for MLC cells), a pool of spare lines that replace
+// worn-out lines, and the failure rule — the device dies when spares are
+// exhausted. Latency/energy parameters (Table 1) are carried here and
+// consumed by the timing simulator in internal/sim.
+//
+// The device optionally stores a data word per line so integration tests can
+// verify that wear-leveling remapping never loses or corrupts user data.
+package nvm
+
+import (
+	"fmt"
+
+	"nvmwear/internal/rng"
+)
+
+// Config describes a device.
+type Config struct {
+	Lines      uint64 // addressable data lines (power of two)
+	SpareLines uint64 // replacement pool for worn-out lines
+	Endurance  uint32 // nominal per-cell write limit (Wmax)
+
+	// Variation, when > 0, draws each line's endurance from a normal
+	// distribution with coefficient of variation Variation (process
+	// variation in MLC cells), truncated to [Endurance/4, 2*Endurance].
+	Variation float64
+	Seed      uint64
+
+	// TrackData allocates one uint64 of payload per line so tests can
+	// verify data integrity across swaps.
+	TrackData bool
+
+	LineSizeBytes  int    // line (cache-line) size; default 64
+	ReadLatencyNs  uint64 // default 50 (Table 1)
+	WriteLatencyNs uint64 // default 350 for MLC PCM/RRAM (Table 1)
+	Banks          int    // default 32 (paper: 32 x 2GB banks)
+
+	// Energy per line access in picojoules. Defaults follow published MLC
+	// PCM figures (~2 pJ/bit read, ~30 pJ/bit write on a 64 B line).
+	ReadEnergyPJ  float64
+	WriteEnergyPJ float64
+}
+
+// withDefaults fills zero fields.
+func (c Config) withDefaults() Config {
+	if c.LineSizeBytes == 0 {
+		c.LineSizeBytes = 64
+	}
+	if c.ReadLatencyNs == 0 {
+		c.ReadLatencyNs = 50
+	}
+	if c.WriteLatencyNs == 0 {
+		c.WriteLatencyNs = 350
+	}
+	if c.Banks == 0 {
+		c.Banks = 32
+	}
+	if c.ReadEnergyPJ == 0 {
+		c.ReadEnergyPJ = 1024 // 2 pJ/bit * 512 bits
+	}
+	if c.WriteEnergyPJ == 0 {
+		c.WriteEnergyPJ = 15360 // 30 pJ/bit * 512 bits
+	}
+	return c
+}
+
+// Device is a simulated NVM device. It is not safe for concurrent use; the
+// simulators drive one device per goroutine.
+type Device struct {
+	cfg       Config
+	writes    []uint32
+	endurance []uint32 // nil when uniform
+	data      []uint64
+
+	sparesUsed  uint64
+	failedLines uint64
+	totalWrites uint64
+	totalReads  uint64
+	dead        bool
+}
+
+// EnergyPJ returns the total access energy consumed so far in picojoules:
+// the dynamic-energy figure that motivates NVM adoption in Sec 1.
+func (d *Device) EnergyPJ() float64 {
+	return float64(d.totalReads)*d.cfg.ReadEnergyPJ +
+		float64(d.totalWrites)*d.cfg.WriteEnergyPJ
+}
+
+// New constructs a device. Lines must be nonzero.
+func New(cfg Config) *Device {
+	cfg = cfg.withDefaults()
+	if cfg.Lines == 0 {
+		panic("nvm: device with zero lines")
+	}
+	if cfg.Endurance == 0 {
+		panic("nvm: device with zero endurance")
+	}
+	d := &Device{
+		cfg:    cfg,
+		writes: make([]uint32, cfg.Lines),
+	}
+	if cfg.Variation > 0 {
+		d.endurance = make([]uint32, cfg.Lines)
+		r := rng.New(cfg.Seed ^ 0xe7037ed1a0b428db)
+		mean := float64(cfg.Endurance)
+		sigma := mean * cfg.Variation
+		for i := range d.endurance {
+			// Box-Muller-free approximation: sum of 12 uniforms has
+			// stddev 1 and is plenty for a wear model.
+			var s float64
+			for k := 0; k < 12; k++ {
+				s += r.Float64()
+			}
+			e := mean + (s-6)*sigma
+			if e < mean/4 {
+				e = mean / 4
+			}
+			if e > 2*mean {
+				e = 2 * mean
+			}
+			d.endurance[i] = uint32(e)
+		}
+	}
+	if cfg.TrackData {
+		d.data = make([]uint64, cfg.Lines)
+	}
+	return d
+}
+
+// Config returns the (defaulted) configuration.
+func (d *Device) Config() Config { return d.cfg }
+
+// Lines returns the number of addressable data lines.
+func (d *Device) Lines() uint64 { return d.cfg.Lines }
+
+// Alive reports whether the device still has spare lines available.
+func (d *Device) Alive() bool { return !d.dead }
+
+// lineEndurance returns the write limit of line i.
+func (d *Device) lineEndurance(i uint64) uint32 {
+	if d.endurance != nil {
+		return d.endurance[i]
+	}
+	return d.cfg.Endurance
+}
+
+// Write wears physical line pma by one write. A line serves exactly its
+// endurance in writes; the next write to a worn-out line transparently
+// consumes a spare (resetting the wear counter), and once spares are
+// exhausted the device is marked dead and the write is not served. Write
+// reports whether the write was served.
+func (d *Device) Write(pma uint64) bool {
+	if d.dead {
+		return false
+	}
+	if d.writes[pma] >= d.lineEndurance(pma) {
+		d.failedLines++
+		if d.sparesUsed >= d.cfg.SpareLines {
+			d.dead = true
+			return false
+		}
+		d.sparesUsed++
+		d.writes[pma] = 0
+	}
+	d.writes[pma]++
+	d.totalWrites++
+	return true
+}
+
+// Read records a read access (reads do not wear NVM cells).
+func (d *Device) Read(pma uint64) {
+	d.totalReads++
+}
+
+// WriteData stores a payload word at pma and wears the line.
+func (d *Device) WriteData(pma, value uint64) bool {
+	if d.data != nil {
+		d.data[pma] = value
+	}
+	return d.Write(pma)
+}
+
+// ReadData returns the payload word at pma.
+func (d *Device) ReadData(pma uint64) uint64 {
+	d.totalReads++
+	if d.data == nil {
+		return 0
+	}
+	return d.data[pma]
+}
+
+// MoveData copies the payload from src to dst, wearing dst. It is the
+// primitive used by all data-exchange operations.
+func (d *Device) MoveData(dst, src uint64) bool {
+	if d.data != nil {
+		d.data[dst] = d.data[src]
+	}
+	return d.Write(dst)
+}
+
+// Peek returns the payload at pma without recording an access (test hook).
+func (d *Device) Peek(pma uint64) uint64 {
+	if d.data == nil {
+		return 0
+	}
+	return d.data[pma]
+}
+
+// Stats summarizes device wear.
+type Stats struct {
+	TotalWrites uint64
+	TotalReads  uint64
+	FailedLines uint64
+	SparesUsed  uint64
+	SpareLines  uint64
+	MaxWear     uint32
+	MeanWear    float64
+	Dead        bool
+}
+
+// Stats computes current wear statistics.
+func (d *Device) Stats() Stats {
+	s := Stats{
+		TotalWrites: d.totalWrites,
+		TotalReads:  d.totalReads,
+		FailedLines: d.failedLines,
+		SparesUsed:  d.sparesUsed,
+		SpareLines:  d.cfg.SpareLines,
+		Dead:        d.dead,
+	}
+	var sum uint64
+	for _, w := range d.writes {
+		if w > s.MaxWear {
+			s.MaxWear = w
+		}
+		sum += uint64(w)
+	}
+	s.MeanWear = float64(sum) / float64(len(d.writes))
+	return s
+}
+
+// WearCounts exposes the per-line wear counters (shared slice; callers must
+// not modify it). Used by metrics (Gini) and the wear visualizer.
+func (d *Device) WearCounts() []uint32 { return d.writes }
+
+// IdealWrites returns the total number of writes the device would absorb
+// under perfectly uniform wear: every line (including spares) worn exactly
+// to its endurance. Normalized lifetime = writes served / IdealWrites.
+func (d *Device) IdealWrites() uint64 {
+	if d.endurance == nil {
+		return uint64(d.cfg.Endurance) * (d.cfg.Lines + d.cfg.SpareLines)
+	}
+	var sum uint64
+	for _, e := range d.endurance {
+		sum += uint64(e)
+	}
+	// Spares are assumed nominal-endurance.
+	return sum + uint64(d.cfg.Endurance)*d.cfg.SpareLines
+}
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("nvm{lines=%d spares=%d/%d endurance=%d writes=%d dead=%v}",
+		d.cfg.Lines, d.sparesUsed, d.cfg.SpareLines, d.cfg.Endurance, d.totalWrites, d.dead)
+}

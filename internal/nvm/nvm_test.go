@@ -1,0 +1,229 @@
+package nvm
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWriteAccounting(t *testing.T) {
+	d := New(Config{Lines: 16, SpareLines: 4, Endurance: 100})
+	for i := 0; i < 50; i++ {
+		if !d.Write(3) {
+			t.Fatal("device died prematurely")
+		}
+	}
+	s := d.Stats()
+	if s.TotalWrites != 50 || s.MaxWear != 50 {
+		t.Fatalf("stats: %+v", s)
+	}
+	if d.WearCounts()[3] != 50 {
+		t.Fatalf("line 3 wear = %d", d.WearCounts()[3])
+	}
+}
+
+func TestSpareReplacement(t *testing.T) {
+	d := New(Config{Lines: 4, SpareLines: 2, Endurance: 10})
+	// Line 0 serves 10 writes, then the 11th consumes a spare.
+	for i := 0; i < 11; i++ {
+		if !d.Write(0) {
+			t.Fatalf("died at write %d", i)
+		}
+	}
+	s := d.Stats()
+	if s.SparesUsed != 1 || s.FailedLines != 1 {
+		t.Fatalf("stats after first failure: %+v", s)
+	}
+	if d.WearCounts()[0] != 1 {
+		t.Fatalf("spare wear = %d, want 1 (reset then served one write)", d.WearCounts()[0])
+	}
+	if !d.Alive() {
+		t.Fatal("device dead with spares remaining")
+	}
+}
+
+func TestDeviceDeathWhenSparesExhausted(t *testing.T) {
+	d := New(Config{Lines: 4, SpareLines: 2, Endurance: 10})
+	writes := 0
+	for d.Alive() {
+		if d.Write(1) {
+			writes++
+		}
+		if writes > 1000 {
+			t.Fatal("device never died")
+		}
+	}
+	// 2 spares + original line = 3 lifetimes of 10 writes each.
+	if writes != 30 {
+		t.Fatalf("served %d writes, want 30", writes)
+	}
+	if d.Write(1) {
+		t.Fatal("write succeeded on dead device")
+	}
+	if st := d.Stats(); !st.Dead {
+		t.Fatal("stats not marked dead")
+	}
+}
+
+func TestZeroSparesDiesOnFirstWearOut(t *testing.T) {
+	d := New(Config{Lines: 4, SpareLines: 0, Endurance: 5})
+	n := 0
+	for d.Alive() {
+		if d.Write(2) {
+			n++
+		}
+	}
+	if n != 5 {
+		t.Fatalf("lifetime %d writes, want 5", n)
+	}
+}
+
+func TestIdealWrites(t *testing.T) {
+	d := New(Config{Lines: 100, SpareLines: 10, Endurance: 1000})
+	if got := d.IdealWrites(); got != 110*1000 {
+		t.Fatalf("IdealWrites = %d", got)
+	}
+}
+
+func TestIdealWritesWithVariation(t *testing.T) {
+	d := New(Config{Lines: 1000, SpareLines: 0, Endurance: 1000, Variation: 0.1, Seed: 1})
+	ideal := d.IdealWrites()
+	// Mean endurance should stay near nominal.
+	if ideal < 900*1000 || ideal > 1100*1000 {
+		t.Fatalf("IdealWrites with variation = %d", ideal)
+	}
+}
+
+func TestVariationBounds(t *testing.T) {
+	d := New(Config{Lines: 10000, SpareLines: 0, Endurance: 1000, Variation: 0.3, Seed: 7})
+	for i := range d.endurance {
+		e := d.endurance[i]
+		if e < 250 || e > 2000 {
+			t.Fatalf("line %d endurance %d outside truncation", i, e)
+		}
+	}
+}
+
+func TestVariationDeterministicBySeed(t *testing.T) {
+	a := New(Config{Lines: 100, Endurance: 1000, Variation: 0.2, Seed: 42, SpareLines: 1})
+	b := New(Config{Lines: 100, Endurance: 1000, Variation: 0.2, Seed: 42, SpareLines: 1})
+	for i := range a.endurance {
+		if a.endurance[i] != b.endurance[i] {
+			t.Fatal("same seed, different endurance map")
+		}
+	}
+}
+
+func TestDataIntegrity(t *testing.T) {
+	d := New(Config{Lines: 8, SpareLines: 8, Endurance: 100, TrackData: true})
+	d.WriteData(5, 0xdead)
+	if v := d.ReadData(5); v != 0xdead {
+		t.Fatalf("read back %#x", v)
+	}
+	d.MoveData(2, 5)
+	if v := d.ReadData(2); v != 0xdead {
+		t.Fatalf("moved value %#x", v)
+	}
+	if d.Peek(5) != 0xdead {
+		t.Fatal("source clobbered by move")
+	}
+}
+
+func TestReadsDoNotWear(t *testing.T) {
+	d := New(Config{Lines: 4, SpareLines: 0, Endurance: 2})
+	for i := 0; i < 100; i++ {
+		d.Read(0)
+		d.ReadData(0)
+	}
+	if !d.Alive() || d.Stats().MaxWear != 0 {
+		t.Fatal("reads wore the device")
+	}
+	if d.Stats().TotalReads != 200 {
+		t.Fatalf("reads = %d", d.Stats().TotalReads)
+	}
+}
+
+func TestDefaults(t *testing.T) {
+	d := New(Config{Lines: 4, Endurance: 1})
+	c := d.Config()
+	if c.LineSizeBytes != 64 || c.ReadLatencyNs != 50 || c.WriteLatencyNs != 350 || c.Banks != 32 {
+		t.Fatalf("defaults: %+v", c)
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	for _, cfg := range []Config{{Lines: 0, Endurance: 1}, {Lines: 4, Endurance: 0}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(cfg)
+		}()
+	}
+}
+
+// Property: total writes served before death never exceeds IdealWrites, and
+// with all writes focused on one line it equals (spares+1) * endurance.
+func TestLifetimeNeverExceedsIdeal(t *testing.T) {
+	err := quick.Check(func(linesExp uint8, spares uint8, end uint8) bool {
+		lines := uint64(1) << (linesExp%4 + 1)
+		e := uint32(end%50 + 2)
+		d := New(Config{Lines: lines, SpareLines: uint64(spares % 8), Endurance: e})
+		n := uint64(0)
+		for d.Alive() && n < 1<<20 {
+			d.Write(n % lines)
+			n++
+		}
+		return d.Stats().TotalWrites <= d.IdealWrites()
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Uniform round-robin writes should achieve exactly the ideal lifetime
+// (every line worn to its limit before death).
+func TestUniformWritesReachIdeal(t *testing.T) {
+	d := New(Config{Lines: 8, SpareLines: 0, Endurance: 50})
+	var n, served uint64
+	for d.Alive() {
+		if d.Write(n % 8) {
+			served++
+		}
+		n++
+	}
+	if served != d.IdealWrites() {
+		t.Fatalf("uniform lifetime %d, ideal %d", served, d.IdealWrites())
+	}
+}
+
+func BenchmarkWrite(b *testing.B) {
+	d := New(Config{Lines: 1 << 20, SpareLines: 1 << 20, Endurance: 1 << 30})
+	mask := uint64(1<<20 - 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Write(uint64(i) & mask)
+	}
+}
+
+func TestEnergyAccounting(t *testing.T) {
+	d := New(Config{Lines: 16, SpareLines: 0, Endurance: 1 << 30,
+		ReadEnergyPJ: 10, WriteEnergyPJ: 100})
+	for i := 0; i < 5; i++ {
+		d.Read(0)
+	}
+	for i := 0; i < 3; i++ {
+		d.Write(1)
+	}
+	if got := d.EnergyPJ(); got != 5*10+3*100 {
+		t.Fatalf("energy = %v", got)
+	}
+}
+
+func TestEnergyDefaults(t *testing.T) {
+	d := New(Config{Lines: 4, Endurance: 1})
+	if d.Config().ReadEnergyPJ <= 0 || d.Config().WriteEnergyPJ <= d.Config().ReadEnergyPJ {
+		t.Fatalf("energy defaults: %+v", d.Config())
+	}
+}

@@ -1,0 +1,100 @@
+package rng
+
+import "math"
+
+// Zipf samples ranks in [0, n) with probability proportional to
+// 1/(rank+1)^alpha. It uses the rejection-inversion method of Hörmann and
+// Derflinger, which needs O(1) time per sample and no per-rank tables, so a
+// workload generator can model multi-gigabyte footprints without allocating
+// memory proportional to the footprint.
+type Zipf struct {
+	src              *Source
+	n                float64
+	alpha            float64
+	oneMinusAlpha    float64
+	invOneMinusAlpha float64
+	hIntegralX1      float64
+	hIntegralNum     float64
+	s                float64
+}
+
+// NewZipf returns a Zipf sampler over [0, n) with exponent alpha > 0,
+// alpha != 1 handled exactly and alpha == 1 handled via a small epsilon
+// offset. It panics if n == 0 or alpha <= 0.
+func NewZipf(src *Source, n uint64, alpha float64) *Zipf {
+	if n == 0 {
+		panic("rng: NewZipf with n == 0")
+	}
+	if alpha <= 0 {
+		panic("rng: NewZipf with alpha <= 0")
+	}
+	if alpha == 1 {
+		// The rejection-inversion transform divides by (1 - alpha).
+		alpha = 1 + 1e-9
+	}
+	z := &Zipf{
+		src:              src,
+		n:                float64(n),
+		alpha:            alpha,
+		oneMinusAlpha:    1 - alpha,
+		invOneMinusAlpha: 1 / (1 - alpha),
+	}
+	z.hIntegralX1 = z.hIntegral(1.5) - 1
+	z.hIntegralNum = z.hIntegral(z.n + 0.5)
+	z.s = 2 - z.hIntegralInverse(z.hIntegral(2.5)-z.h(2))
+	return z
+}
+
+// h is the (unnormalized) density x^-alpha.
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(-z.alpha * math.Log(x))
+}
+
+// hIntegral is the antiderivative of h.
+func (z *Zipf) hIntegral(x float64) float64 {
+	logX := math.Log(x)
+	return helper2(z.oneMinusAlpha*logX) * logX
+}
+
+// hIntegralInverse inverts hIntegral.
+func (z *Zipf) hIntegralInverse(x float64) float64 {
+	t := x * z.oneMinusAlpha
+	if t < -1 {
+		t = -1
+	}
+	return math.Exp(helper1(t) * x)
+}
+
+// helper1 computes log1p(x)/x with a stable expansion near zero.
+func helper1(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Log1p(x) / x
+	}
+	return 1 - x*(0.5-x*(1.0/3.0-0.25*x))
+}
+
+// helper2 computes expm1(x)/x with a stable expansion near zero.
+func helper2(x float64) float64 {
+	if math.Abs(x) > 1e-8 {
+		return math.Expm1(x) / x
+	}
+	return 1 + x*0.5*(1+x*(1.0/3.0)*(1+0.25*x))
+}
+
+// Next returns the next Zipf-distributed rank in [0, n). Rank 0 is the most
+// popular.
+func (z *Zipf) Next() uint64 {
+	for {
+		u := z.hIntegralNum + z.src.Float64()*(z.hIntegralX1-z.hIntegralNum)
+		x := z.hIntegralInverse(u)
+		k := math.Floor(x + 0.5)
+		if k < 1 {
+			k = 1
+		} else if k > z.n {
+			k = z.n
+		}
+		if k-x <= z.s || u >= z.hIntegral(k+0.5)-z.h(k) {
+			return uint64(k) - 1
+		}
+	}
+}

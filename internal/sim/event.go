@@ -1,0 +1,281 @@
+package sim
+
+// Event-driven variant of the timing model. Where Run approximates bank
+// contention with busy-until bookkeeping, RunEvent simulates the memory
+// system as a discrete-event process: cores issue in simulated-time order,
+// each bank runs an FR-FCFS scheduler over explicit read/write queues, and
+// wear-leveling maintenance writes occupy their bank as distinct queue
+// entries. The two models are cross-validated in tests; the event model is
+// the reference, the analytic model is the fast path the experiments use.
+
+import (
+	"container/heap"
+
+	"nvmwear/internal/cache"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// evKind discriminates event types.
+type evKind uint8
+
+const (
+	evCoreIssue evKind = iota
+	evBankDone
+)
+
+// event is one scheduled occurrence.
+type event struct {
+	time float64
+	kind evKind
+	id   int // core or bank index
+	seq  uint64
+}
+
+// eventHeap is a time-ordered min-heap (seq breaks ties deterministically).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].time != h[j].time {
+		return h[i].time < h[j].time
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// bankOp is a queued bank operation.
+type bankOp struct {
+	write       bool
+	maintenance bool // wear-leveling writes: lowest priority
+	core        int  // waiting core for reads, -1 otherwise
+	issue       float64
+}
+
+// bankState is one bank's FR-FCFS queues.
+type bankState struct {
+	busy   bool
+	reads  []bankOp
+	writes []bankOp
+	maint  []bankOp
+}
+
+// next pops the highest-priority pending op: reads first (FR-FCFS gives
+// row hits then oldest reads; with flat latency that is FCFS reads), then
+// demand writes, then maintenance.
+func (b *bankState) next() (bankOp, bool) {
+	if len(b.reads) > 0 {
+		op := b.reads[0]
+		b.reads = b.reads[1:]
+		return op, true
+	}
+	if len(b.writes) > 0 {
+		op := b.writes[0]
+		b.writes = b.writes[1:]
+		return op, true
+	}
+	if len(b.maint) > 0 {
+		op := b.maint[0]
+		b.maint = b.maint[1:]
+		return op, true
+	}
+	return bankOp{}, false
+}
+
+// RunEvent simulates cfg.Requests memory requests with the event-driven
+// engine. It accepts the same Config as Run; WriteQueueDepth bounds the
+// total buffered demand writes (0 = 128).
+func RunEvent(lv wl.Leveler, stream trace.Stream, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	wqDepth := cfg.WriteQueueDepth
+	if wqDepth == 0 {
+		wqDepth = 128
+	}
+
+	var l2 *cache.Cache
+	if cfg.L2Lines > 0 {
+		l2 = cache.New(cfg.L2Lines, cfg.L2Ways)
+	}
+	banks := make([]bankState, cfg.Banks)
+	computeNs := cfg.InstrPerMemReq / cfg.FreqGHz
+	baselineScheme := lv.Name() == "Baseline"
+	prev := lv.Stats()
+
+	var h eventHeap
+	var seq uint64
+	push := func(t float64, k evKind, id int) {
+		seq++
+		heap.Push(&h, event{time: t, kind: k, id: id, seq: seq})
+	}
+	for c := 0; c < cfg.Cores; c++ {
+		push(computeNs, evCoreIssue, c)
+	}
+
+	var issued uint64
+	var memReqs uint64
+	var reads uint64
+	var totalReadLat, totalTrans float64
+	var pendingWrites int
+	var lastTime float64
+	coreDone := make([]float64, cfg.Cores)
+
+	// startBank begins the bank's next queued op if idle.
+	var startBank func(b int, now float64)
+	startBank = func(b int, now float64) {
+		if banks[b].busy {
+			return
+		}
+		op, ok := banks[b].next()
+		if !ok {
+			return
+		}
+		banks[b].busy = true
+		dur := cfg.ReadLatNs
+		if op.write {
+			dur = cfg.WriteLatNs
+		}
+		done := now + dur
+		if op.write && !op.maintenance {
+			pendingWrites--
+		}
+		if op.core >= 0 {
+			reads++
+			totalReadLat += done - op.issue
+			// The waiting core resumes computing after the read returns.
+			push(done+computeNs, evCoreIssue, op.core)
+			coreDone[op.core] = done
+		}
+		push(done, evBankDone, b)
+	}
+
+	// translate performs the access and returns (pma, translation ns,
+	// swap-delta, merge-delta).
+	translate := func(op trace.Op, addr uint64) (uint64, float64, int, int) {
+		pma := lv.Access(op, addr)
+		st := lv.Stats()
+		var transNs float64
+		switch {
+		case baselineScheme:
+			transNs = 0
+		case st.CMTHits != prev.CMTHits:
+			transNs = cfg.TransHitNs
+		case st.CMTMisses != prev.CMTMisses:
+			transNs = cfg.TransMissNs
+		default:
+			transNs = cfg.OnChipTransNs
+		}
+		swap := int(st.SwapWrites - prev.SwapWrites + st.TableWrites - prev.TableWrites)
+		merge := int(st.MergeWrites - prev.MergeWrites)
+		prev = st
+		totalTrans += transNs
+		return pma, transNs, swap, merge
+	}
+
+	// sendToBank enqueues one demand op plus any wear-leveling work.
+	sendToBank := func(op trace.Op, addr uint64, core int, now float64) (blockedRead bool) {
+		memReqs++
+		pma, transNs, swap, merge := translate(op, addr)
+		b := int(pma) % cfg.Banks
+		t := now + transNs
+		entry := bankOp{write: op == trace.Write, core: -1, issue: t}
+		if op == trace.Read {
+			entry.core = core
+			banks[b].reads = append(banks[b].reads, entry)
+			blockedRead = true
+		} else {
+			pendingWrites++
+			banks[b].writes = append(banks[b].writes, entry)
+		}
+		// Wear-leveling writes occupy the same bank (global blocking for
+		// non-tiered schemes spreads them across all banks round-robin).
+		for i := 0; i < swap; i++ {
+			tb := b
+			if cfg.GlobalSwapBlocking {
+				tb = (b + i) % cfg.Banks
+			}
+			banks[tb].writes = append(banks[tb].writes, bankOp{write: true, maintenance: true, core: -1, issue: t})
+		}
+		for i := 0; i < merge; i++ {
+			banks[(b+i)%cfg.Banks].maint = append(banks[(b+i)%cfg.Banks].maint,
+				bankOp{write: true, maintenance: true, core: -1, issue: t})
+		}
+		startBank(b, t)
+		return blockedRead
+	}
+
+	for h.Len() > 0 {
+		ev := heap.Pop(&h).(event)
+		lastTime = ev.time
+		switch ev.kind {
+		case evBankDone:
+			banks[ev.id].busy = false
+			startBank(ev.id, ev.time)
+		case evCoreIssue:
+			if issued >= cfg.Requests {
+				continue // core retires
+			}
+			if pendingWrites >= wqDepth {
+				// Write buffer full: back-pressure, retry shortly.
+				push(ev.time+cfg.WriteLatNs, evCoreIssue, ev.id)
+				continue
+			}
+			issued++
+			r := stream.Next()
+			now := ev.time
+			if l2 != nil {
+				res := l2.Access(r.Addr, r.Op == trace.Write)
+				if res.Hit {
+					push(now+cfg.L2LatNs+computeNs, evCoreIssue, ev.id)
+					coreDone[ev.id] = now + cfg.L2LatNs
+					continue
+				}
+				if res.Writeback {
+					sendToBank(trace.Write, res.WritebackAddr, ev.id, now)
+				}
+				// Miss fill read; core blocks until it completes.
+				if !sendToBank(trace.Read, r.Addr, ev.id, now) {
+					push(now+computeNs, evCoreIssue, ev.id)
+				}
+				continue
+			}
+			if sendToBank(r.Op, r.Addr, ev.id, now) {
+				// Read: reissued by the bank completion.
+				continue
+			}
+			push(now+computeNs, evCoreIssue, ev.id)
+		}
+	}
+
+	var maxCore float64
+	for _, t := range coreDone {
+		if t > maxCore {
+			maxCore = t
+		}
+	}
+	if lastTime > maxCore {
+		maxCore = lastTime
+	}
+	instr := float64(cfg.Requests) * cfg.InstrPerMemReq
+	res := Result{Instructions: instr, ElapsedNs: maxCore, MemRequests: memReqs}
+	if maxCore > 0 {
+		res.IPC = instr / (maxCore * cfg.FreqGHz)
+	}
+	if l2 != nil {
+		res.L2HitRate = l2.HitRate()
+	}
+	if reads > 0 {
+		res.AvgReadLatNs = totalReadLat / float64(reads)
+	}
+	if memReqs > 0 {
+		res.TransOverhead = totalTrans / float64(memReqs)
+	}
+	return res
+}

@@ -1,0 +1,294 @@
+// Package sim is the timing model standing in for the paper's gem5 +
+// NVMain stack (Sec 4.1, Table 1; substitution documented in DESIGN.md).
+//
+// It models an 8-core 3.2 GHz system in closed loop: each core alternates
+// compute phases (calibrated per benchmark by instructions-per-memory-
+// request) with line-granular memory requests. Requests are filtered
+// through a shared set-associative L2; misses pay address translation
+// (5 ns on a CMT hit, 55 ns on a miss, 0 for the no-wear-leveling baseline,
+// 5 ns flat for schemes whose whole table is on chip), queue on one of the
+// banked NVM channels, and occupy the bank for the device read (50 ns) or
+// write (350 ns) latency. Wear-leveling data exchanges block the issuing
+// bank for their full duration — the mechanism that makes frequent
+// fine-grained swaps expensive (Fig 17's BWL bar).
+//
+// Reads block the issuing core; writes are posted. IPC is computed from
+// total instructions over the slowest core's finishing time and reported
+// relative to a baseline run to reproduce Fig 17's degradation bars.
+package sim
+
+import (
+	"nvmwear/internal/cache"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// Config parameterizes a timing run.
+type Config struct {
+	Cores          int     // default 8 (Table 1)
+	FreqGHz        float64 // default 3.2
+	InstrPerMemReq float64 // compute instructions between memory requests (default 30)
+
+	L2Lines uint64  // shared L2 capacity in lines (default 8192 = 512 KB); 0 disables
+	L2Ways  int     // default 16
+	L2LatNs float64 // hit latency (default 10)
+
+	Banks      int     // default 16
+	ReadLatNs  float64 // default 50
+	WriteLatNs float64 // default 350 (MLC NVM, Table 1)
+
+	TransHitNs  float64 // translation, mapping-cache hit (default 5)
+	TransMissNs float64 // translation, mapping-cache miss (default 55)
+	// OnChipTransNs applies to schemes with their full table on chip
+	// (default 5; the Baseline scheme always pays 0).
+	OnChipTransNs float64
+
+	// GlobalSwapBlocking models a non-tiered controller whose data
+	// exchanges stage whole regions through the controller SRAM, stalling
+	// every bank for the exchange duration (the paper's BWL). Tiered
+	// schemes charge exchanges only to the issuing bank.
+	GlobalSwapBlocking bool
+
+	// WriteQueueDepth > 0 enables the FR-FCFS posted-write buffer (Table 1
+	// uses 128): demand writes park in the buffer and drain in bursts, so
+	// isolated writes stop serializing in front of reads. 0 keeps the
+	// simpler model where writes occupy the bank immediately.
+	WriteQueueDepth int
+
+	Requests uint64 // memory requests to simulate (default 2<<20)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Cores == 0 {
+		c.Cores = 8
+	}
+	if c.FreqGHz == 0 {
+		c.FreqGHz = 3.2
+	}
+	if c.InstrPerMemReq == 0 {
+		c.InstrPerMemReq = 30
+	}
+	if c.L2Ways == 0 {
+		c.L2Ways = 16
+	}
+	if c.L2LatNs == 0 {
+		c.L2LatNs = 10
+	}
+	if c.Banks == 0 {
+		c.Banks = 16
+	}
+	if c.ReadLatNs == 0 {
+		c.ReadLatNs = 50
+	}
+	if c.WriteLatNs == 0 {
+		c.WriteLatNs = 350
+	}
+	if c.TransHitNs == 0 {
+		c.TransHitNs = 5
+	}
+	if c.TransMissNs == 0 {
+		c.TransMissNs = 55
+	}
+	if c.OnChipTransNs == 0 {
+		c.OnChipTransNs = 5
+	}
+	if c.Requests == 0 {
+		c.Requests = 2 << 20
+	}
+	return c
+}
+
+// Result summarizes a timing run.
+type Result struct {
+	IPC           float64
+	Instructions  float64
+	ElapsedNs     float64
+	MemRequests   uint64
+	L2HitRate     float64
+	AvgReadLatNs  float64
+	TransOverhead float64 // mean translation ns per memory access
+}
+
+// Degradation returns 1 - IPC/baselineIPC, the quantity Fig 17 plots.
+func (r Result) Degradation(baseline Result) float64 {
+	if baseline.IPC == 0 {
+		return 0
+	}
+	return 1 - r.IPC/baseline.IPC
+}
+
+// Run simulates cfg.Requests memory requests from the stream through the
+// scheme. The scheme performs its normal wear-leveling work; its swap and
+// table writes are charged to the issuing bank.
+func Run(lv wl.Leveler, stream trace.Stream, cfg Config) Result {
+	cfg = cfg.withDefaults()
+	coreTime := make([]float64, cfg.Cores)
+	bankBusy := make([]float64, cfg.Banks)
+
+	var l2 *cache.Cache
+	if cfg.L2Lines > 0 {
+		l2 = cache.New(cfg.L2Lines, cfg.L2Ways)
+	}
+
+	computeNs := cfg.InstrPerMemReq / cfg.FreqGHz // 1 instr/cycle issue rate
+	baselineScheme := lv.Name() == "Baseline"
+
+	prev := lv.Stats()
+	var memReqs uint64
+	var totalReadLat, totalTrans float64
+	var reads uint64
+
+	var wq *writeQueue
+	if cfg.WriteQueueDepth > 0 {
+		wq = newWriteQueue(cfg.WriteQueueDepth, cfg.Banks, cfg.WriteLatNs)
+	}
+
+	// issueMem sends one request to the memory system, returning the
+	// completion time for reads (writes are posted).
+	issueMem := func(core int, op trace.Op, addrL uint64, issue float64) float64 {
+		memReqs++
+		pma := lv.Access(op, addrL)
+		st := lv.Stats()
+
+		// Translation latency for this access.
+		var transNs float64
+		switch {
+		case baselineScheme:
+			transNs = 0
+		case st.CMTHits != prev.CMTHits:
+			transNs = cfg.TransHitNs
+		case st.CMTMisses != prev.CMTMisses:
+			transNs = cfg.TransMissNs
+		default:
+			transNs = cfg.OnChipTransNs
+		}
+		totalTrans += transNs
+
+		// Wear-leveling work performed by this access occupies the bank;
+		// region-merge traffic is background (the controller serves demand
+		// requests from staged data while it drains), so it is scheduled
+		// on the least-busy bank instead of blocking the issuing one.
+		swapDelta := float64(st.SwapWrites - prev.SwapWrites +
+			st.TableWrites - prev.TableWrites)
+		mergeDelta := float64(st.MergeWrites - prev.MergeWrites)
+		prev = st
+
+		bank := int(pma) % cfg.Banks
+		if wq != nil && op == trace.Write && swapDelta == 0 {
+			// Posted write through the FR-FCFS buffer: the core only
+			// stalls on back-pressure.
+			stall := wq.push(bank, issue+transNs, bankBusy)
+			return issue + transNs + stall
+		}
+		if wq != nil {
+			// A read reaching an idle bank lets the queued writes that the
+			// idle gap already serviced retire first.
+			wq.idleDrain(bank, issue+transNs, bankBusy)
+		}
+		start := issue + transNs
+		if bankBusy[bank] > start {
+			start = bankBusy[bank]
+		}
+		dur := cfg.WriteLatNs
+		if op == trace.Read {
+			dur = cfg.ReadLatNs
+		}
+		finish := start + dur
+		busy := finish + swapDelta*cfg.WriteLatNs
+		bankBusy[bank] = busy
+		if cfg.GlobalSwapBlocking && swapDelta > 0 {
+			for b := range bankBusy {
+				if bankBusy[b] < busy {
+					bankBusy[b] = busy
+				}
+			}
+		}
+		if mergeDelta > 0 {
+			idle := 0
+			for b := range bankBusy {
+				if bankBusy[b] < bankBusy[idle] {
+					idle = b
+				}
+			}
+			bankBusy[idle] += mergeDelta * cfg.WriteLatNs
+		}
+		if op == trace.Read {
+			reads++
+			totalReadLat += finish - issue
+			return finish
+		}
+		return issue + transNs
+	}
+
+	for i := uint64(0); i < cfg.Requests; i++ {
+		core := int(i) % cfg.Cores
+		r := stream.Next()
+		coreTime[core] += computeNs
+		issue := coreTime[core]
+
+		if l2 != nil {
+			res := l2.Access(r.Addr, r.Op == trace.Write)
+			if res.Hit {
+				coreTime[core] = issue + cfg.L2LatNs
+				continue
+			}
+			if res.Writeback {
+				// Dirty eviction: a posted memory write.
+				issueMem(core, trace.Write, res.WritebackAddr, issue)
+			}
+			// Miss fill: the line is read from memory (even for writes,
+			// write-allocate fetches it); for a demand write the dirty data
+			// stays in L2 until evicted.
+			coreTime[core] = issueMem(core, trace.Read, r.Addr, issue)
+			continue
+		}
+		coreTime[core] = issueMem(core, r.Op, r.Addr, issue)
+	}
+
+	var maxTime float64
+	for _, t := range coreTime {
+		if t > maxTime {
+			maxTime = t
+		}
+	}
+	instr := float64(cfg.Requests) * cfg.InstrPerMemReq
+	res := Result{
+		Instructions: instr,
+		ElapsedNs:    maxTime,
+		MemRequests:  memReqs,
+	}
+	if maxTime > 0 {
+		res.IPC = instr / (maxTime * cfg.FreqGHz)
+	}
+	if l2 != nil {
+		res.L2HitRate = l2.HitRate()
+	}
+	if reads > 0 {
+		res.AvgReadLatNs = totalReadLat / float64(reads)
+	}
+	if memReqs > 0 {
+		res.TransOverhead = totalTrans / float64(memReqs)
+	}
+	return res
+}
+
+// InstrPerMemReq maps the paper's SPEC benchmarks to a compute intensity:
+// how many instructions a core executes per memory request it emits.
+// Memory-bound benchmarks (mcf, lbm, libquantum, milc) sit low; compute-
+// bound ones (namd, gromacs, sjeng, gobmk) sit high. These feed Fig 17.
+var InstrPerMemReq = map[string]float64{
+	"bzip2":      60,
+	"gcc":        35,
+	"mcf":        10,
+	"milc":       18,
+	"gromacs":    70,
+	"cactusADM":  25,
+	"leslie3d":   20,
+	"namd":       90,
+	"gobmk":      65,
+	"soplex":     22,
+	"hmmer":      55,
+	"sjeng":      75,
+	"libquantum": 12,
+	"lbm":        11,
+}

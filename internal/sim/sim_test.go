@@ -1,0 +1,152 @@
+package sim
+
+import (
+	"testing"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/pcms"
+	"nvmwear/internal/workload"
+)
+
+func baselineRun(requests uint64, stream func() *workload.Uniform) Result {
+	dev := nvm.New(nvm.Config{Lines: 1 << 16, SpareLines: 1 << 16, Endurance: 1 << 30})
+	lv := wl.NewIdentity(dev)
+	return Run(lv, stream(), Config{Requests: requests, L2Lines: 1024})
+}
+
+func TestBaselineIPCPositive(t *testing.T) {
+	res := baselineRun(100000, func() *workload.Uniform {
+		return workload.NewUniform(1, 1<<16, 0.3)
+	})
+	if res.IPC <= 0 || res.IPC > 8 {
+		t.Fatalf("IPC = %v", res.IPC)
+	}
+	if res.ElapsedNs <= 0 || res.MemRequests == 0 {
+		t.Fatalf("result: %+v", res)
+	}
+	if res.TransOverhead != 0 {
+		t.Fatalf("baseline translation overhead %v", res.TransOverhead)
+	}
+}
+
+func TestWearLevelingDegradesIPC(t *testing.T) {
+	mk := func() *workload.Uniform { return workload.NewUniform(1, 1<<16, 0.3) }
+	base := baselineRun(200000, mk)
+
+	dev := nvm.New(nvm.Config{Lines: 1 << 16, SpareLines: 1 << 16, Endurance: 1 << 30})
+	lv := pcms.New(dev, pcms.Config{Lines: 1 << 16, RegionLines: 4, Period: 8, Seed: 1})
+	wlRes := Run(lv, mk(), Config{Requests: 200000, L2Lines: 1024})
+
+	if wlRes.IPC >= base.IPC {
+		t.Fatalf("wear leveling did not cost anything: %v >= %v", wlRes.IPC, base.IPC)
+	}
+	d := wlRes.Degradation(base)
+	if d <= 0 || d >= 1 {
+		t.Fatalf("degradation %v", d)
+	}
+	if wlRes.TransOverhead <= 0 {
+		t.Fatal("no translation overhead recorded")
+	}
+}
+
+func TestL2FiltersTraffic(t *testing.T) {
+	// A tiny footprint fits in L2: almost no memory requests.
+	dev := nvm.New(nvm.Config{Lines: 1 << 16, SpareLines: 0, Endurance: 1 << 30})
+	lv := wl.NewIdentity(dev)
+	hot := workload.NewUniform(3, 256, 0.5)
+	res := Run(lv, hot, Config{Requests: 100000, L2Lines: 1024})
+	if res.L2HitRate < 0.95 {
+		t.Fatalf("L2 hit rate %v for resident footprint", res.L2HitRate)
+	}
+	if res.MemRequests > 5000 {
+		t.Fatalf("memory requests %d despite L2 residency", res.MemRequests)
+	}
+}
+
+func TestNoL2Passthrough(t *testing.T) {
+	dev := nvm.New(nvm.Config{Lines: 1 << 12, SpareLines: 0, Endurance: 1 << 30})
+	lv := wl.NewIdentity(dev)
+	res := Run(lv, workload.NewUniform(5, 1<<12, 0.5), Config{Requests: 10000})
+	if res.MemRequests != 10000 {
+		t.Fatalf("passthrough issued %d mem requests", res.MemRequests)
+	}
+	if res.L2HitRate != 0 {
+		t.Fatal("phantom L2")
+	}
+}
+
+func TestMemoryBoundLowerIPCThanComputeBound(t *testing.T) {
+	mk := func() *workload.Uniform { return workload.NewUniform(7, 1<<16, 0.4) }
+	run := func(ipmr float64) float64 {
+		dev := nvm.New(nvm.Config{Lines: 1 << 16, SpareLines: 0, Endurance: 1 << 30})
+		return Run(wl.NewIdentity(dev), mk(), Config{
+			Requests: 100000, InstrPerMemReq: ipmr, L2Lines: 1024,
+		}).IPC
+	}
+	slowIPC := run(10)
+	fastIPC := run(90)
+	if fastIPC <= slowIPC {
+		t.Fatalf("compute-bound IPC %v not above memory-bound %v", fastIPC, slowIPC)
+	}
+}
+
+func TestInstrPerMemReqTableComplete(t *testing.T) {
+	for _, name := range workload.Names() {
+		if _, ok := InstrPerMemReq[name]; !ok {
+			t.Errorf("missing InstrPerMemReq for %s", name)
+		}
+	}
+	if len(InstrPerMemReq) != 14 {
+		t.Fatalf("%d entries", len(InstrPerMemReq))
+	}
+}
+
+func TestDegradationEdgeCases(t *testing.T) {
+	if (Result{IPC: 1}).Degradation(Result{}) != 0 {
+		t.Fatal("zero baseline")
+	}
+	d := (Result{IPC: 0.9}).Degradation(Result{IPC: 1.0})
+	if d < 0.099 || d > 0.101 {
+		t.Fatalf("degradation %v", d)
+	}
+}
+
+func TestWriteQueueReducesReadLatency(t *testing.T) {
+	// Write-heavy traffic: with the FR-FCFS buffer, reads should see lower
+	// average latency than with immediate write occupancy.
+	run := func(depth int) float64 {
+		dev := nvm.New(nvm.Config{Lines: 1 << 14, SpareLines: 0, Endurance: 1 << 30})
+		lv := wl.NewIdentity(dev)
+		return Run(lv, workload.NewUniform(11, 1<<14, 0.7), Config{
+			Requests: 100000, WriteQueueDepth: depth, InstrPerMemReq: 5,
+		}).AvgReadLatNs
+	}
+	immediate := run(0)
+	queued := run(128)
+	if queued >= immediate {
+		t.Fatalf("write queue did not help reads: %v >= %v", queued, immediate)
+	}
+}
+
+func TestWriteQueueBackPressure(t *testing.T) {
+	// Under pure writes, a bounded buffer must make the system bank-
+	// bandwidth-bound; without a queue the old posted-write model lets
+	// cores run at full speed while bankBusy grows unboundedly.
+	run := func(depth int) float64 {
+		dev := nvm.New(nvm.Config{Lines: 1 << 12, SpareLines: 0, Endurance: 1 << 30})
+		lv := wl.NewIdentity(dev)
+		return Run(lv, workload.NewUniform(13, 1<<12, 1.0), Config{
+			Requests: 50000, WriteQueueDepth: depth, InstrPerMemReq: 2, Banks: 2,
+		}).IPC
+	}
+	unbounded := run(0)
+	bounded := run(64)
+	if bounded >= unbounded/2 {
+		t.Fatalf("back-pressure missing: bounded IPC %v vs unbounded %v", bounded, unbounded)
+	}
+	// Sanity: bandwidth bound ~ instr rate at 2 banks x 350ns writes.
+	if bounded <= 0 {
+		t.Fatal("bounded IPC is zero")
+	}
+}

@@ -1,0 +1,96 @@
+package sim
+
+// writeQueue models the memory controller's posted-write buffer with
+// FR-FCFS-style read priority (Table 1: queue length 128, FR-FCFS):
+//
+//   - posted writes join a per-bank backlog instead of occupying the bank;
+//   - reads bypass the backlog (they only wait for the op in service);
+//   - the backlog drains through idle gaps between reads, and in forced
+//     bursts when it crosses the high watermark;
+//   - when the buffer is full the issuing core stalls until a burst drains
+//     (back-pressure) — so a write-saturated system is bounded by bank
+//     write bandwidth, not by an infinitely deep buffer.
+type writeQueue struct {
+	depth     int
+	highWater int
+	backlog   []int // per-bank queued writes
+	total     int
+	writeLat  float64
+}
+
+// newWriteQueue creates a queue of the given depth over nBanks banks.
+func newWriteQueue(depth, nBanks int, writeLat float64) *writeQueue {
+	hw := depth * 3 / 4
+	if hw < 1 {
+		hw = 1
+	}
+	return &writeQueue{
+		depth:     depth,
+		highWater: hw,
+		backlog:   make([]int, nBanks),
+		writeLat:  writeLat,
+	}
+}
+
+// push enqueues one posted write for a bank at time `now`, returning the
+// back-pressure stall the issuing core suffers (0 when the buffer has
+// room).
+func (q *writeQueue) push(bank int, now float64, bankBusy []float64) (stall float64) {
+	q.backlog[bank]++
+	q.total++
+	if q.total >= q.highWater {
+		// Watermark burst: flush the fullest bank's backlog into its busy
+		// time. Reads arriving at that bank will wait behind the burst —
+		// the FR-FCFS forced write drain.
+		fullest := 0
+		for b, n := range q.backlog {
+			if n > q.backlog[fullest] {
+				fullest = b
+			}
+		}
+		q.burst(fullest, now, bankBusy)
+	}
+	// Back-pressure: a core may run ahead of a bank by at most one full
+	// queue of write service time. Outstanding time = committed busy time
+	// plus the uncommitted backlog.
+	outstanding := bankBusy[bank] - now + float64(q.backlog[bank])*q.writeLat
+	if limit := float64(q.depth) * q.writeLat; outstanding > limit {
+		stall = outstanding - limit
+	}
+	return stall
+}
+
+// burst converts a bank's backlog into bank busy time.
+func (q *writeQueue) burst(bank int, now float64, bankBusy []float64) {
+	n := q.backlog[bank]
+	if n == 0 {
+		return
+	}
+	start := bankBusy[bank]
+	if start < now {
+		start = now
+	}
+	bankBusy[bank] = start + float64(n)*q.writeLat
+	q.backlog[bank] = 0
+	q.total -= n
+}
+
+// idleDrain retires backlog that the bank could have serviced in the idle
+// gap ending at `now` (reads preempt writes, so drains happen between
+// reads). Called when a read finds the bank idle.
+func (q *writeQueue) idleDrain(bank int, now float64, bankBusy []float64) {
+	if q.backlog[bank] == 0 || bankBusy[bank] >= now {
+		return
+	}
+	gap := now - bankBusy[bank]
+	can := int(gap / q.writeLat)
+	if can <= 0 {
+		return
+	}
+	if can > q.backlog[bank] {
+		can = q.backlog[bank]
+	}
+	q.backlog[bank] -= can
+	q.total -= can
+	bankBusy[bank] += float64(can) * q.writeLat
+}

@@ -1,0 +1,284 @@
+// Package trace defines the memory-request representation shared by the
+// workload generators, the wear-leveling schemes and the simulators, plus
+// binary/text codecs so traces can be captured to disk by cmd/tracegen and
+// replayed later.
+//
+// A request addresses one memory line (the last-level-cache-line-sized
+// atomic access unit of Sec 2.1). Streams of requests are what the paper
+// calls "memory requests" arriving at the memory controller.
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Op is a request type.
+type Op uint8
+
+const (
+	// Read is a load of one line.
+	Read Op = iota
+	// Write is a store of one line.
+	Write
+)
+
+// String implements fmt.Stringer.
+func (o Op) String() string {
+	switch o {
+	case Read:
+		return "R"
+	case Write:
+		return "W"
+	default:
+		return fmt.Sprintf("Op(%d)", uint8(o))
+	}
+}
+
+// Request is a single line-granular memory access. Addr is a logical line
+// address (lma).
+type Request struct {
+	Op   Op
+	Addr uint64
+}
+
+// Stream produces an unbounded request sequence. Workload generators
+// implement Stream; the measurement engines pull from it until their stop
+// condition (device failure, request budget) is met.
+type Stream interface {
+	Next() Request
+}
+
+// StreamFunc adapts a function to the Stream interface.
+type StreamFunc func() Request
+
+// Next implements Stream.
+func (f StreamFunc) Next() Request { return f() }
+
+// Limit wraps a Stream as a bounded Reader yielding at most n requests.
+func Limit(s Stream, n uint64) *LimitedReader {
+	return &LimitedReader{s: s, remaining: n}
+}
+
+// LimitedReader is a bounded view over a Stream.
+type LimitedReader struct {
+	s         Stream
+	remaining uint64
+}
+
+// Next returns the next request, or io.EOF once exhausted.
+func (l *LimitedReader) Next() (Request, error) {
+	if l.remaining == 0 {
+		return Request{}, io.EOF
+	}
+	l.remaining--
+	return l.s.Next(), nil
+}
+
+// recordSize is the on-disk size of one binary record: op byte + 8-byte
+// little-endian address.
+const recordSize = 9
+
+// Writer encodes requests to an io.Writer in the binary trace format.
+type Writer struct {
+	w   *bufio.Writer
+	buf [recordSize]byte
+	n   uint64
+}
+
+// NewWriter creates a trace writer.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: bufio.NewWriter(w)}
+}
+
+// Write appends one request.
+func (tw *Writer) Write(r Request) error {
+	tw.buf[0] = byte(r.Op)
+	binary.LittleEndian.PutUint64(tw.buf[1:], r.Addr)
+	if _, err := tw.w.Write(tw.buf[:]); err != nil {
+		return err
+	}
+	tw.n++
+	return nil
+}
+
+// Count returns the number of requests written.
+func (tw *Writer) Count() uint64 { return tw.n }
+
+// Flush flushes buffered records.
+func (tw *Writer) Flush() error { return tw.w.Flush() }
+
+// Reader decodes the binary trace format.
+type Reader struct {
+	r   *bufio.Reader
+	buf [recordSize]byte
+}
+
+// NewReader creates a trace reader.
+func NewReader(r io.Reader) *Reader {
+	return &Reader{r: bufio.NewReader(r)}
+}
+
+// Next returns the next request; io.EOF at end of trace.
+func (tr *Reader) Next() (Request, error) {
+	if _, err := io.ReadFull(tr.r, tr.buf[:]); err != nil {
+		if errors.Is(err, io.ErrUnexpectedEOF) {
+			return Request{}, fmt.Errorf("trace: truncated record: %w", err)
+		}
+		return Request{}, err
+	}
+	op := Op(tr.buf[0])
+	if op != Read && op != Write {
+		return Request{}, fmt.Errorf("trace: invalid op byte %d", tr.buf[0])
+	}
+	return Request{Op: op, Addr: binary.LittleEndian.Uint64(tr.buf[1:])}, nil
+}
+
+// WriteText encodes requests in the human-readable "W 0x1a2b" format, one
+// per line.
+func WriteText(w io.Writer, rs []Request) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rs {
+		if _, err := fmt.Fprintf(bw, "%s %#x\n", r.Op, r.Addr); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseText decodes the text format produced by WriteText.
+func ParseText(r io.Reader) ([]Request, error) {
+	var out []Request
+	sc := bufio.NewScanner(r)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var opStr string
+		var addr uint64
+		if _, err := fmt.Sscanf(line, "%s %v", &opStr, &addr); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %q: %w", lineNo, line, err)
+		}
+		var op Op
+		switch opStr {
+		case "R", "r":
+			op = Read
+		case "W", "w":
+			op = Write
+		default:
+			return nil, fmt.Errorf("trace: line %d: unknown op %q", lineNo, opStr)
+		}
+		out = append(out, Request{Op: op, Addr: addr})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Stats summarizes a request sequence.
+type Stats struct {
+	Requests uint64
+	Writes   uint64
+	Reads    uint64
+	MinAddr  uint64
+	MaxAddr  uint64
+	// UniqueApprox counts distinct addresses exactly up to uniqueCap and
+	// saturates afterwards (a full map over a 64 GB trace is not viable).
+	UniqueApprox uint64
+	Saturated    bool
+}
+
+const uniqueCap = 1 << 22
+
+// Collect consumes up to n requests from a stream and summarizes them.
+func Collect(s Stream, n uint64) Stats {
+	st := Stats{MinAddr: ^uint64(0)}
+	seen := make(map[uint64]struct{})
+	for i := uint64(0); i < n; i++ {
+		r := s.Next()
+		st.Requests++
+		if r.Op == Write {
+			st.Writes++
+		} else {
+			st.Reads++
+		}
+		if r.Addr < st.MinAddr {
+			st.MinAddr = r.Addr
+		}
+		if r.Addr > st.MaxAddr {
+			st.MaxAddr = r.Addr
+		}
+		if !st.Saturated {
+			seen[r.Addr] = struct{}{}
+			if len(seen) >= uniqueCap {
+				st.Saturated = true
+			}
+		}
+	}
+	st.UniqueApprox = uint64(len(seen))
+	if st.Requests == 0 {
+		st.MinAddr = 0
+	}
+	return st
+}
+
+// WriteRatio returns the fraction of writes.
+func (s Stats) WriteRatio() float64 {
+	if s.Requests == 0 {
+		return 0
+	}
+	return float64(s.Writes) / float64(s.Requests)
+}
+
+// ReadAll decodes an entire binary trace.
+func ReadAll(r io.Reader) ([]Request, error) {
+	tr := NewReader(r)
+	var out []Request
+	for {
+		req, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, req)
+	}
+}
+
+// Loop adapts a finite request slice into an unbounded Stream by cycling
+// through it — how captured traces replay into lifetime experiments, which
+// need more requests than any finite trace holds.
+type Loop struct {
+	reqs []Request
+	next int
+}
+
+// NewLoop creates a looping stream. The slice must be nonempty.
+func NewLoop(reqs []Request) *Loop {
+	if len(reqs) == 0 {
+		panic("trace: empty loop")
+	}
+	return &Loop{reqs: reqs}
+}
+
+// Next implements Stream.
+func (l *Loop) Next() Request {
+	r := l.reqs[l.next]
+	l.next++
+	if l.next == len(l.reqs) {
+		l.next = 0
+	}
+	return r
+}
+
+// Len returns the underlying trace length.
+func (l *Loop) Len() int { return len(l.reqs) }

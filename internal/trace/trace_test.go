@@ -1,0 +1,213 @@
+package trace
+
+import (
+	"bytes"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestOpString(t *testing.T) {
+	if Read.String() != "R" || Write.String() != "W" {
+		t.Fatal("op strings")
+	}
+	if Op(9).String() != "Op(9)" {
+		t.Fatalf("bad op string: %s", Op(9))
+	}
+}
+
+func TestBinaryRoundTrip(t *testing.T) {
+	reqs := []Request{
+		{Read, 0}, {Write, 1}, {Write, 0xdeadbeefcafe}, {Read, ^uint64(0)},
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	for _, r := range reqs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if w.Count() != uint64(len(reqs)) {
+		t.Fatalf("count = %d", w.Count())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	r := NewReader(&buf)
+	for i, want := range reqs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	err := quick.Check(func(addrs []uint64, ops []bool) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		var reqs []Request
+		for i, a := range addrs {
+			op := Read
+			if i < len(ops) && ops[i] {
+				op = Write
+			}
+			req := Request{Op: op, Addr: a}
+			reqs = append(reqs, req)
+			if err := w.Write(req); err != nil {
+				return false
+			}
+		}
+		w.Flush()
+		r := NewReader(&buf)
+		for _, want := range reqs {
+			got, err := r.Next()
+			if err != nil || got != want {
+				return false
+			}
+		}
+		_, err := r.Next()
+		return err == io.EOF
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderRejectsTruncatedAndInvalid(t *testing.T) {
+	r := NewReader(bytes.NewReader([]byte{1, 2, 3}))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("truncated record accepted")
+	}
+	bad := make([]byte, 9)
+	bad[0] = 77
+	r = NewReader(bytes.NewReader(bad))
+	if _, err := r.Next(); err == nil {
+		t.Fatal("invalid op accepted")
+	}
+}
+
+func TestTextRoundTrip(t *testing.T) {
+	reqs := []Request{{Write, 16}, {Read, 0xff}}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, reqs); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ParseText(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != reqs[0] || got[1] != reqs[1] {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestParseTextSkipsCommentsAndBlank(t *testing.T) {
+	in := "# header\n\nW 0x10\n  r 32 \n"
+	got, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != (Request{Write, 16}) || got[1] != (Request{Read, 32}) {
+		t.Fatalf("parsed: %+v", got)
+	}
+}
+
+func TestParseTextErrors(t *testing.T) {
+	for _, in := range []string{"X 12\n", "W\n", "W zzz\n"} {
+		if _, err := ParseText(strings.NewReader(in)); err == nil {
+			t.Errorf("accepted %q", in)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	n := uint64(0)
+	s := StreamFunc(func() Request {
+		n++
+		return Request{Write, n}
+	})
+	l := Limit(s, 3)
+	for i := 0; i < 3; i++ {
+		if _, err := l.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if n != 3 {
+		t.Fatalf("stream pulled %d times", n)
+	}
+}
+
+func TestCollect(t *testing.T) {
+	i := uint64(0)
+	s := StreamFunc(func() Request {
+		i++
+		op := Read
+		if i%4 == 0 {
+			op = Write
+		}
+		return Request{op, i % 10}
+	})
+	st := Collect(s, 100)
+	if st.Requests != 100 || st.Writes != 25 || st.Reads != 75 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if st.UniqueApprox != 10 || st.MinAddr != 0 || st.MaxAddr != 9 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if wr := st.WriteRatio(); wr != 0.25 {
+		t.Fatalf("write ratio %v", wr)
+	}
+	if (Stats{}).WriteRatio() != 0 {
+		t.Fatal("empty write ratio")
+	}
+	if empty := Collect(s, 0); empty.MinAddr != 0 || empty.Requests != 0 {
+		t.Fatalf("empty stats: %+v", empty)
+	}
+}
+
+func TestReadAll(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	want := []Request{{Write, 1}, {Read, 2}, {Write, 3}}
+	for _, r := range want {
+		w.Write(r)
+	}
+	w.Flush()
+	got, err := ReadAll(&buf)
+	if err != nil || len(got) != 3 || got[0] != want[0] || got[2] != want[2] {
+		t.Fatalf("ReadAll: %v %v", got, err)
+	}
+}
+
+func TestLoopCycles(t *testing.T) {
+	l := NewLoop([]Request{{Write, 1}, {Read, 2}})
+	if l.Len() != 2 {
+		t.Fatal("len")
+	}
+	seq := []uint64{1, 2, 1, 2, 1}
+	for i, want := range seq {
+		if got := l.Next().Addr; got != want {
+			t.Fatalf("step %d: %d != %d", i, got, want)
+		}
+	}
+}
+
+func TestLoopPanicsOnEmpty(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	NewLoop(nil)
+}

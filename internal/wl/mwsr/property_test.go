@@ -1,0 +1,116 @@
+package mwsr
+
+// Property-based verification of the incremental-migration translation
+// math: for every combination of keys, delta and progress, the mid-flight
+// mapping of a migrating region pair must be a bijection between the two
+// physical frames.
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMidMigrationMappingIsBijection(t *testing.T) {
+	const q = 64
+	err := quick.Check(func(keyR, keyS, dRaw uint8, progress uint8) bool {
+		m := &migration{
+			r: 0, s: 1,
+			p1: 0, p2: 1,
+			d:        uint64(dRaw%(q-1)) + 1, // nonzero delta
+			keyR:     uint64(keyR % q),
+			keyS:     uint64(keyS % q),
+			progress: uint64(progress) % (q + 1),
+		}
+		// Emulate Translate's migration branch for both regions.
+		seen := make(map[uint64]bool, 2*q)
+		for lao := uint64(0); lao < q; lao++ {
+			u := lao ^ m.keyR
+			var pma uint64
+			if u < m.progress {
+				pma = m.p2*q + (u ^ m.d)
+			} else {
+				pma = m.p1*q + u
+			}
+			if seen[pma] {
+				return false
+			}
+			seen[pma] = true
+		}
+		for lao := uint64(0); lao < q; lao++ {
+			v := lao ^ m.keyS
+			var pma uint64
+			if v^m.d < m.progress {
+				pma = m.p1*q + (v ^ m.d)
+			} else {
+				pma = m.p2*q + v
+			}
+			if seen[pma] {
+				return false
+			}
+			seen[pma] = true
+		}
+		return len(seen) == 2*q
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfMigrationMappingIsBijection(t *testing.T) {
+	const q = 64
+	err := quick.Check(func(key, dRaw, progress uint8) bool {
+		d := uint64(dRaw%(q-1)) + 1
+		k := uint64(key % q)
+		p := uint64(progress) % (q + 1)
+		seen := make(map[uint64]bool, q)
+		for lao := uint64(0); lao < q; lao++ {
+			u := lao ^ k
+			var pma uint64
+			if u < p || u^d < p {
+				pma = u ^ d
+			} else {
+				pma = u
+			}
+			if pma >= q || seen[pma] {
+				return false
+			}
+			seen[pma] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 2000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMigrationFinishMatchesXORMapping: after a migration completes, the
+// settled table entry must equal the mid-flight mapping at full progress.
+func TestMigrationFinishMatchesXORMapping(t *testing.T) {
+	err := quick.Check(func(keyR, keyS, dRaw uint8) bool {
+		const q = 32
+		d := uint64(dRaw%(q-1)) + 1
+		kr := uint64(keyR % q)
+		ks := uint64(keyS % q)
+		// Mid-flight at progress == q (everything migrated).
+		for lao := uint64(0); lao < q; lao++ {
+			u := lao ^ kr
+			mid := uint64(1)*q + (u ^ d) // p2 frame
+			settled := uint64(1)*q + (lao ^ (kr ^ d))
+			if mid != settled {
+				return false
+			}
+		}
+		for lao := uint64(0); lao < q; lao++ {
+			v := lao ^ ks
+			mid := uint64(0)*q + (v ^ d) // p1 frame
+			settled := uint64(0)*q + (lao ^ (ks ^ d))
+			if mid != settled {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

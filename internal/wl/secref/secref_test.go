@@ -1,0 +1,208 @@
+package secref
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl/wltest"
+)
+
+func newScheme(lines, regions, innerP, outerP, seed uint64) (*nvm.Device, *Scheme) {
+	dev := wltest.Device(lines, 0)
+	return dev, New(dev, Config{
+		Lines: lines, Regions: regions,
+		InnerPeriod: innerP, OuterPeriod: outerP, Seed: seed,
+	})
+}
+
+func TestInitialIdentity(t *testing.T) {
+	_, s := newScheme(256, 4, 8, 32, 1)
+	for lma := uint64(0); lma < 256; lma++ {
+		if s.Translate(lma) != lma {
+			t.Fatalf("initial mapping not identity at %d", lma)
+		}
+	}
+}
+
+func TestSingleLevelBijectionAndIntegrity(t *testing.T) {
+	dev, s := newScheme(256, 1, 2, 0, 3)
+	wltest.Exercise(t, dev, s, 20000, 4)
+	if s.Name() != "SR" {
+		t.Fatal("name")
+	}
+}
+
+func TestTwoLevelBijectionAndIntegrity(t *testing.T) {
+	dev, s := newScheme(512, 8, 3, 4, 5)
+	wltest.Exercise(t, dev, s, 30000, 6)
+	if s.Name() != "TLSR" {
+		t.Fatal("name")
+	}
+}
+
+// Property: mid-round mappings are bijections for arbitrary key pairs and
+// refresh pointers — the trickiest part of Security Refresh.
+func TestMidRoundMappingIsBijection(t *testing.T) {
+	err := quick.Check(func(k0, k1, rp uint16) bool {
+		const n = 256
+		inst := sr{n: n, k0: uint64(k0 % n), k1: uint64(k1 % n), rp: uint64(rp) % (n + 1)}
+		seen := make(map[uint64]bool, n)
+		for m := uint64(0); m < n; m++ {
+			p := inst.translate(m)
+			if p >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 500})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRoundCompletionChangesMapping(t *testing.T) {
+	dev, s := newScheme(64, 1, 1, 0, 7)
+	wltest.Fill(dev, s)
+	// Drive two full rounds: 128 writes with period 1.
+	for i := 0; i < 128; i++ {
+		s.Access(trace.Write, uint64(i)%64)
+	}
+	moved := 0
+	for lma := uint64(0); lma < 64; lma++ {
+		if s.Translate(lma) != lma {
+			moved++
+		}
+	}
+	if moved < 32 {
+		t.Fatalf("only %d/64 lines moved after two refresh rounds", moved)
+	}
+	wltest.CheckBijection(t, dev, s)
+	wltest.CheckIntegrity(t, dev, s)
+}
+
+func TestRAADispersesAcrossWholeMemory(t *testing.T) {
+	// Unlike RBSG, TLSR migrates the attacked line across regions via the
+	// outer level: after enough rounds many distinct physical lines absorb
+	// the RAA writes.
+	dev, s := newScheme(256, 4, 1, 1, 9)
+	wltest.Fill(dev, s)
+	touched := make(map[uint64]bool)
+	for i := 0; i < 100000; i++ {
+		touched[s.Access(trace.Write, 13)] = true
+	}
+	if len(touched) < 64 {
+		t.Fatalf("RAA writes landed on only %d distinct lines", len(touched))
+	}
+}
+
+func TestInnerWriteOverheadMatchesPeriod(t *testing.T) {
+	// Single level, period ψ: one step per ψ writes, an average of one swap
+	// write per step => overhead ~1/ψ.
+	dev, s := newScheme(1024, 1, 8, 0, 11)
+	wltest.Fill(dev, s)
+	for i := uint64(0); i < 200000; i++ {
+		s.Access(trace.Write, i%1024)
+	}
+	oh := s.Stats().WriteOverhead()
+	if oh < 0.08 || oh > 0.17 {
+		t.Fatalf("overhead %.4f, want ~1/8", oh)
+	}
+	_ = dev
+}
+
+func TestTwoLevelOverheadApproximatesSum(t *testing.T) {
+	// ψ_in = 8 (12.5%) + ψ_out = 32 (~3.1%) => ~15.6%, the paper's Fig 3
+	// annotation for period 8.
+	dev, s := newScheme(4096, 16, 8, 32, 13)
+	wltest.Fill(dev, s)
+	for i := uint64(0); i < 400000; i++ {
+		s.Access(trace.Write, i%4096)
+	}
+	oh := s.Stats().WriteOverhead()
+	if oh < 0.11 || oh > 0.20 {
+		t.Fatalf("overhead %.4f, want ~0.156", oh)
+	}
+	_ = dev
+}
+
+func TestStatsAndOverheadBits(t *testing.T) {
+	_, s := newScheme(256, 4, 8, 32, 15)
+	if s.OverheadBits() == 0 {
+		t.Fatal("zero overhead bits")
+	}
+	if s.Lines() != 256 {
+		t.Fatal("lines")
+	}
+	st := s.Stats()
+	if st.DataWrites != 0 {
+		t.Fatal("fresh stats not zero")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	dev := wltest.Device(64, 0)
+	for _, cfg := range []Config{
+		{Lines: 63, Regions: 1, InnerPeriod: 8},
+		{Lines: 64, Regions: 3, InnerPeriod: 8, OuterPeriod: 8},
+		{Lines: 64, Regions: 128, InnerPeriod: 8, OuterPeriod: 8},
+		{Lines: 64, Regions: 1, InnerPeriod: 0},
+		{Lines: 64, Regions: 4, InnerPeriod: 8, OuterPeriod: 0},
+		{Lines: 256, Regions: 4, InnerPeriod: 8, OuterPeriod: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(dev, cfg)
+		}()
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	devA, a := newScheme(128, 2, 2, 4, 99)
+	devB, b := newScheme(128, 2, 2, 4, 99)
+	for i := 0; i < 5000; i++ {
+		lma := uint64(i*7) % 128
+		if a.Access(trace.Write, lma) != b.Access(trace.Write, lma) {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+	_, _ = devA, devB
+}
+
+// Property: the two-level composition (outer SR over subregions, inner SR
+// per logical subregion) is a bijection for arbitrary mid-round states of
+// every instance.
+func TestTwoLevelCompositionBijection(t *testing.T) {
+	err := quick.Check(func(ok0, ok1, orp uint8, ik0s, ik1s, irps [4]uint8) bool {
+		const regions, k = 4, 16
+		outer := sr{n: regions, k0: uint64(ok0 % regions), k1: uint64(ok1 % regions), rp: uint64(orp) % (regions + 1)}
+		var inner [regions]sr
+		for i := range inner {
+			inner[i] = sr{
+				n:  k,
+				k0: uint64(ik0s[i] % k),
+				k1: uint64(ik1s[i] % k),
+				rp: uint64(irps[i]) % (k + 1),
+			}
+		}
+		seen := make(map[uint64]bool, regions*k)
+		for lma := uint64(0); lma < regions*k; lma++ {
+			ms, mi := lma/k, lma%k
+			pma := outer.translate(ms)*k + inner[ms].translate(mi)
+			if pma >= regions*k || seen[pma] {
+				return false
+			}
+			seen[pma] = true
+		}
+		return true
+	}, &quick.Config{MaxCount: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,140 @@
+package segswap
+
+import (
+	"testing"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl/wltest"
+)
+
+func newScheme(lines, segLines, period uint64) (*nvm.Device, *Scheme) {
+	dev := wltest.Device(lines, 0)
+	return dev, New(dev, Config{Lines: lines, SegmentLines: segLines, Period: period})
+}
+
+func TestInitialIdentity(t *testing.T) {
+	_, s := newScheme(256, 16, 64)
+	for lma := uint64(0); lma < 256; lma++ {
+		if s.Translate(lma) != lma {
+			t.Fatalf("initial mapping not identity at %d", lma)
+		}
+	}
+}
+
+func TestBijectionAndIntegrityUnderLoad(t *testing.T) {
+	dev, s := newScheme(512, 16, 32)
+	wltest.Exercise(t, dev, s, 20000, 1)
+}
+
+func TestSwapMovesHotSegment(t *testing.T) {
+	dev, s := newScheme(256, 16, 8)
+	wltest.Fill(dev, s)
+	before := s.Translate(5)
+	for i := 0; i < 8; i++ {
+		s.Access(trace.Write, 5)
+	}
+	after := s.Translate(5)
+	if before == after {
+		t.Fatal("hot segment not swapped after period writes")
+	}
+	wltest.CheckBijection(t, dev, s)
+	wltest.CheckIntegrity(t, dev, s)
+}
+
+func TestOffsetPreservedAcrossSwaps(t *testing.T) {
+	// The TBWL weakness: intra-segment offset is invariant.
+	dev, s := newScheme(256, 16, 8)
+	wltest.Fill(dev, s)
+	for i := 0; i < 1000; i++ {
+		s.Access(trace.Write, 37) // offset 5 within its segment
+		if s.Translate(37)%16 != 37%16 {
+			t.Fatal("segment swapping changed the intra-segment offset")
+		}
+	}
+}
+
+func TestRAAVulnerability(t *testing.T) {
+	// Under RAA, only one line per segment ever wears: the achieved
+	// lifetime is a tiny fraction of ideal because only #segments lines
+	// out of all lines absorb the attack.
+	lines, segLines := uint64(256), uint64(16)
+	dev := nvm.New(nvm.Config{Lines: lines, SpareLines: 0, Endurance: 1000, TrackData: true})
+	s := New(dev, Config{Lines: lines, SegmentLines: segLines, Period: 64})
+	writes := uint64(0)
+	for dev.Alive() && writes < 10*dev.IdealWrites() {
+		s.Access(trace.Write, 7)
+		writes++
+	}
+	norm := float64(dev.Stats().TotalWrites) / float64(dev.IdealWrites())
+	// Only 16 of 256 lines can absorb writes => <= ~6.25% plus swap noise.
+	if norm > 0.10 {
+		t.Fatalf("segment swapping survived RAA too well: %.1f%% of ideal", 100*norm)
+	}
+	if dev.Alive() {
+		t.Fatal("device survived RAA")
+	}
+}
+
+func TestWriteOverheadMatchesPeriod(t *testing.T) {
+	dev, s := newScheme(1024, 16, 64)
+	wltest.Fill(dev, s)
+	// Uniform writes: every period writes triggers at most one swap of
+	// 2*16 lines => overhead <= 2*16/64 = 50%.
+	for i := uint64(0); i < 100000; i++ {
+		s.Access(trace.Write, i%1024)
+	}
+	oh := s.Stats().WriteOverhead()
+	if oh > 0.5+0.05 {
+		t.Fatalf("write overhead %.2f exceeds 2*S/period bound", oh)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	dev, s := newScheme(256, 16, 1<<40)
+	wltest.Fill(dev, s)
+	base := dev.Stats().TotalWrites
+	for i := 0; i < 10; i++ {
+		s.Access(trace.Write, uint64(i))
+		s.Access(trace.Read, uint64(i))
+	}
+	st := s.Stats()
+	if st.DataWrites != 10 || st.DataReads != 10 || st.SwapWrites != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+	if dev.Stats().TotalWrites-base != 10 {
+		t.Fatal("device writes disagree with stats")
+	}
+}
+
+func TestOverheadBitsPositive(t *testing.T) {
+	_, s := newScheme(256, 16, 8)
+	if s.OverheadBits() == 0 {
+		t.Fatal("zero on-chip overhead for a table-based scheme")
+	}
+	if s.Name() != "SegmentSwap" {
+		t.Fatal("name")
+	}
+	if s.Lines() != 256 {
+		t.Fatal("lines")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	dev := wltest.Device(64, 0)
+	for _, cfg := range []Config{
+		{Lines: 64, SegmentLines: 0, Period: 8},
+		{Lines: 63, SegmentLines: 16, Period: 8},
+		{Lines: 64, SegmentLines: 16, Period: 0},
+		{Lines: 128, SegmentLines: 16, Period: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(dev, cfg)
+		}()
+	}
+}

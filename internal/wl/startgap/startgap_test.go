@@ -1,0 +1,219 @@
+package startgap
+
+import (
+	"testing"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl/wltest"
+)
+
+func newScheme(lines, regions, period uint64) (*nvm.Device, *Scheme) {
+	cfg := Config{Lines: lines, Regions: regions, Period: period}
+	dev := wltest.Device(lines, cfg.ExtraLines())
+	return dev, New(dev, cfg)
+}
+
+// referenceModel tracks the physical slot of every logical line of a single
+// region explicitly, applying the same gap-movement rule, to validate the
+// closed-form Translate formula.
+type referenceModel struct {
+	slot []int64 // physical slot -> logical line (-1 = gap)
+	gap  uint64
+	k    uint64
+}
+
+func newReference(k uint64) *referenceModel {
+	m := &referenceModel{slot: make([]int64, k+1), gap: k, k: k}
+	for i := uint64(0); i < k; i++ {
+		m.slot[i] = int64(i)
+	}
+	m.slot[k] = -1
+	return m
+}
+
+func (m *referenceModel) moveGap() {
+	if m.gap == 0 {
+		m.slot[0] = m.slot[m.k]
+		m.slot[m.k] = -1
+		m.gap = m.k
+	} else {
+		m.slot[m.gap] = m.slot[m.gap-1]
+		m.slot[m.gap-1] = -1
+		m.gap--
+	}
+}
+
+func TestTranslateMatchesReferenceModel(t *testing.T) {
+	const k = 7
+	dev, s := newScheme(k, 1, 1) // move gap on every write
+	ref := newReference(k)
+	for step := 0; step < 200; step++ {
+		for lma := uint64(0); lma < k; lma++ {
+			p := s.Translate(lma)
+			if ref.slot[p] != int64(lma) {
+				t.Fatalf("step %d: Translate(%d)=%d but reference has %d there (gap=%d start=%d)",
+					step, lma, p, ref.slot[p], s.regions[0].gap, s.regions[0].start)
+			}
+		}
+		s.Access(trace.Write, uint64(step)%k) // triggers one gap move
+		ref.moveGap()
+	}
+	_ = dev
+}
+
+func TestInitialIdentity(t *testing.T) {
+	_, s := newScheme(64, 4, 100)
+	for lma := uint64(0); lma < 64; lma++ {
+		want := (lma/16)*17 + lma%16
+		if got := s.Translate(lma); got != want {
+			t.Fatalf("initial Translate(%d) = %d, want %d", lma, got, want)
+		}
+	}
+}
+
+func TestBijectionAndIntegrityUnderLoad(t *testing.T) {
+	dev, s := newScheme(512, 8, 3)
+	wltest.Exercise(t, dev, s, 20000, 2)
+}
+
+func TestSingleRegionFullRotation(t *testing.T) {
+	const k = 16
+	dev, s := newScheme(k, 1, 1)
+	wltest.Fill(dev, s)
+	// k+1 gap moves = one full round: every line shifted by one slot.
+	for i := 0; i < k+1; i++ {
+		s.Access(trace.Write, 0)
+	}
+	if s.regions[0].start != 1 {
+		t.Fatalf("start = %d after full round", s.regions[0].start)
+	}
+	wltest.CheckBijection(t, dev, s)
+	wltest.CheckIntegrity(t, dev, s)
+}
+
+func TestLinesNeverLeaveRegion(t *testing.T) {
+	// The RBSG weakness: translation is confined to the static region.
+	dev, s := newScheme(256, 4, 2)
+	wltest.Fill(dev, s)
+	for i := 0; i < 5000; i++ {
+		s.Access(trace.Write, 100) // region 1 (lines 64..127 -> phys 65..129)
+		p := s.Translate(100)
+		if p < 65 || p >= 130 {
+			t.Fatalf("line escaped its region: pma %d", p)
+		}
+	}
+	_ = dev
+}
+
+func TestRAAWearsOutSingleRegion(t *testing.T) {
+	const lines, regions = 256, 4
+	dev := nvm.New(nvm.Config{
+		Lines: lines + regions, SpareLines: 0, Endurance: 500, TrackData: true,
+	})
+	s := New(dev, Config{Lines: lines, Regions: regions, Period: 4})
+	var served uint64
+	for dev.Alive() && served < 10*dev.IdealWrites() {
+		s.Access(trace.Write, 7)
+		served++
+	}
+	if dev.Alive() {
+		t.Fatal("device survived RAA")
+	}
+	norm := float64(dev.Stats().TotalWrites) / float64(dev.IdealWrites())
+	// Only one region (1/4 of the device) absorbs the attack; with swap
+	// overhead the served fraction stays well under 2/4.
+	if norm > 0.5 {
+		t.Fatalf("RBSG survived RAA too well: %.1f%% of ideal", 100*norm)
+	}
+}
+
+func TestRAADispersedWithinRegion(t *testing.T) {
+	// Within its region, start-gap does disperse the attack: after enough
+	// rounds every line of the region has taken writes.
+	dev, s := newScheme(16, 1, 1)
+	wltest.Fill(dev, s)
+	for i := 0; i < 17*3; i++ {
+		s.Access(trace.Write, 3)
+	}
+	counts := dev.WearCounts()
+	zero := 0
+	for _, c := range counts[:17] {
+		if c == 0 {
+			zero++
+		}
+	}
+	if zero > 0 {
+		t.Fatalf("%d lines untouched after 3 full gap rounds", zero)
+	}
+}
+
+func TestWriteOverheadIsOneOverPeriod(t *testing.T) {
+	dev, s := newScheme(1024, 4, 8)
+	wltest.Fill(dev, s)
+	for i := uint64(0); i < 80000; i++ {
+		s.Access(trace.Write, i%1024)
+	}
+	oh := s.Stats().WriteOverhead()
+	if oh < 0.115 || oh > 0.135 {
+		t.Fatalf("write overhead %.4f, want ~1/8", oh)
+	}
+	_ = dev
+}
+
+func TestNames(t *testing.T) {
+	_, single := newScheme(16, 1, 1)
+	if single.Name() != "StartGap" {
+		t.Fatal("single-region name")
+	}
+	_, multi := newScheme(64, 4, 1)
+	if multi.Name() != "RBSG" {
+		t.Fatal("multi-region name")
+	}
+	if multi.OverheadBits() == 0 {
+		t.Fatal("zero overhead bits")
+	}
+}
+
+func TestConstructorPanics(t *testing.T) {
+	dev := wltest.Device(64, 64)
+	for _, cfg := range []Config{
+		{Lines: 64, Regions: 0, Period: 8},
+		{Lines: 63, Regions: 4, Period: 8},
+		{Lines: 64, Regions: 4, Period: 0},
+		{Lines: 1 << 20, Regions: 4, Period: 8},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("no panic for %+v", cfg)
+				}
+			}()
+			New(dev, cfg)
+		}()
+	}
+}
+
+// Property: the closed-form start-gap translation is a bijection into the
+// region's physical slots, leaving exactly the gap slot free, for every
+// (start, gap) register state.
+func TestStartGapFormulaBijectionAllStates(t *testing.T) {
+	const k = 12
+	for start := uint64(0); start < k; start++ {
+		for gap := uint64(0); gap <= k; gap++ {
+			s := &Scheme{cfg: Config{Lines: k, Regions: 1, Period: 1}, k: k,
+				regions: []region{{start: start, gap: gap}}}
+			seen := make(map[uint64]bool, k)
+			for la := uint64(0); la < k; la++ {
+				p := s.Translate(la)
+				if p > k || seen[p] {
+					t.Fatalf("start=%d gap=%d: collision/overflow at la=%d -> %d", start, gap, la, p)
+				}
+				seen[p] = true
+			}
+			if seen[gap] {
+				t.Fatalf("start=%d gap=%d: data mapped onto the gap slot", start, gap)
+			}
+		}
+	}
+}

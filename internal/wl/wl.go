@@ -1,0 +1,124 @@
+// Package wl defines the interface every wear-leveling scheme in this
+// repository implements, the shared accounting they report, and the trivial
+// identity scheme (the paper's "Baseline" without any wear leveling).
+//
+// A wear-leveling scheme is a time-varying bijection from logical line
+// addresses (what the application sees) to physical line addresses (where
+// data lives on the NVM device), plus a trigger rule that re-randomizes
+// parts of the mapping after a configurable number of writes (the "swapping
+// period" of Sec 2.1). Schemes own the device: every access — the user's
+// demand access and the scheme's own data-exchange writes — is applied to
+// the device by the scheme, so the device's per-line wear counters account
+// for write amplification exactly.
+package wl
+
+import (
+	"fmt"
+
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+)
+
+// Leveler is a wear-leveling scheme bound to a device.
+type Leveler interface {
+	// Access serves one demand request: it translates the logical address,
+	// applies the access to the device, performs any wear-leveling work the
+	// access triggers, and returns the physical address the demand access
+	// landed on.
+	Access(op trace.Op, lma uint64) (pma uint64)
+
+	// Translate returns the current mapping of lma without side effects.
+	Translate(lma uint64) (pma uint64)
+
+	// Lines returns the size of the logical address space.
+	Lines() uint64
+
+	// Name identifies the scheme (used in experiment output).
+	Name() string
+
+	// Stats returns accounting counters.
+	Stats() Stats
+
+	// OverheadBits returns the scheme's on-chip (SRAM) storage requirement
+	// in bits — the quantity Sec 4.5 and Fig 5 reason about.
+	OverheadBits() uint64
+}
+
+// Stats is the shared accounting every scheme reports.
+type Stats struct {
+	DataWrites  uint64 // demand writes served
+	DataReads   uint64 // demand reads served
+	SwapWrites  uint64 // device writes caused by data exchanges
+	MergeWrites uint64 // device writes caused by region merges (SAWL; background traffic)
+	TableWrites uint64 // device writes to NVM-resident mapping tables (tiered schemes)
+	Remaps      uint64 // mapping-change events (gap moves, refreshes, region swaps)
+	CMTHits     uint64 // tiered schemes: on-chip mapping-cache hits
+	CMTMisses   uint64 // tiered schemes: mapping-cache misses (NVM table lookup)
+}
+
+// WriteOverhead returns extra writes as a fraction of demand writes — the
+// percentage the paper annotates next to each swapping period in Fig 3/4.
+func (s Stats) WriteOverhead() float64 {
+	if s.DataWrites == 0 {
+		return 0
+	}
+	return float64(s.SwapWrites+s.MergeWrites+s.TableWrites) / float64(s.DataWrites)
+}
+
+// HitRate returns the mapping-cache hit rate for tiered schemes (1 if the
+// scheme has no cache).
+func (s Stats) HitRate() float64 {
+	total := s.CMTHits + s.CMTMisses
+	if total == 0 {
+		return 1
+	}
+	return float64(s.CMTHits) / float64(total)
+}
+
+// String implements fmt.Stringer.
+func (s Stats) String() string {
+	return fmt.Sprintf("stats{w=%d r=%d swap=%d merge=%d table=%d remaps=%d overhead=%.2f%% hit=%.1f%%}",
+		s.DataWrites, s.DataReads, s.SwapWrites, s.MergeWrites, s.TableWrites, s.Remaps,
+		100*s.WriteOverhead(), 100*s.HitRate())
+}
+
+// Identity is the no-wear-leveling baseline: logical address = physical
+// address. Its lifetime under any non-uniform workload is the paper's
+// "Baseline" bar in Fig 16.
+type Identity struct {
+	dev   *nvm.Device
+	lines uint64
+	stats Stats
+}
+
+// NewIdentity creates the baseline over the device's full line space.
+func NewIdentity(dev *nvm.Device) *Identity {
+	return &Identity{dev: dev, lines: dev.Lines()}
+}
+
+// Access implements Leveler.
+func (l *Identity) Access(op trace.Op, lma uint64) uint64 {
+	if op == trace.Write {
+		l.stats.DataWrites++
+		l.dev.Write(lma)
+	} else {
+		l.stats.DataReads++
+		l.dev.Read(lma)
+	}
+	return lma
+}
+
+// Translate implements Leveler.
+func (l *Identity) Translate(lma uint64) uint64 { return lma }
+
+// Lines implements Leveler.
+func (l *Identity) Lines() uint64 { return l.lines }
+
+// Name implements Leveler.
+func (l *Identity) Name() string { return "Baseline" }
+
+// Stats implements Leveler.
+func (l *Identity) Stats() Stats { return l.stats }
+
+// OverheadBits implements Leveler.
+func (l *Identity) OverheadBits() uint64 { return 0 }

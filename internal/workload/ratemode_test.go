@@ -1,0 +1,84 @@
+package workload
+
+import (
+	"testing"
+
+	"nvmwear/internal/trace"
+)
+
+func TestRateModePartitionsDisjoint(t *testing.T) {
+	p, _ := ProfileByName("bzip2")
+	r := NewRateMode(p, 3, 1<<16, 8)
+	if r.Copies() != 8 {
+		t.Fatalf("copies = %d", r.Copies())
+	}
+	part := uint64(1<<16) / 8
+	counts := make([]int, 8)
+	for i := 0; i < 80000; i++ {
+		req := r.Next()
+		if req.Addr >= 1<<16 {
+			t.Fatalf("address %d out of space", req.Addr)
+		}
+		counts[req.Addr/part]++
+	}
+	// Round-robin issue: each partition must receive exactly 1/8 of the
+	// requests.
+	for i, c := range counts {
+		if c != 10000 {
+			t.Fatalf("partition %d received %d requests, want 10000", i, c)
+		}
+	}
+}
+
+func TestRateModeCopiesNotLockstep(t *testing.T) {
+	p, _ := ProfileByName("gcc")
+	r := NewRateMode(p, 7, 1<<16, 2)
+	part := uint64(1<<16) / 2
+	same := 0
+	for i := 0; i < 1000; i++ {
+		a := r.Next()
+		b := r.Next()
+		if a.Addr == b.Addr-part && a.Op == b.Op {
+			same++
+		}
+	}
+	if same > 100 {
+		t.Fatalf("copies in lockstep: %d/1000 mirrored requests", same)
+	}
+}
+
+func TestRateModeDeterministic(t *testing.T) {
+	p, _ := ProfileByName("mcf")
+	a := NewRateMode(p, 9, 1<<14, 4)
+	b := NewRateMode(p, 9, 1<<14, 4)
+	for i := 0; i < 10000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatalf("diverged at %d", i)
+		}
+	}
+}
+
+func TestRateModePanics(t *testing.T) {
+	p, _ := ProfileByName("lbm")
+	for _, f := range []func(){
+		func() { NewRateMode(p, 1, 1<<16, 0) },
+		func() { NewRateMode(p, 1, 256, 8) }, // 32-line partitions < one page
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestRateModeIsAStream(t *testing.T) {
+	p, _ := ProfileByName("milc")
+	var s trace.Stream = NewRateMode(p, 1, 1<<14, 2)
+	if s.Next().Addr >= 1<<14 {
+		t.Fatal("stream contract")
+	}
+}

@@ -1,0 +1,536 @@
+// Package nvmwear is a line-granular simulation library for NVM wear
+// leveling, reproducing "An Efficient Wear-level Architecture using
+// Self-adaptive Wear Leveling" (Huang, Hua, Zuo, Zhou, Huang — ICPP 2020).
+//
+// The library models an MLC NVM main memory with per-line endurance and
+// spare lines, seven wear-leveling schemes (the no-op Baseline, Segment
+// Swapping, Start-Gap/RBSG, two-level Security Refresh, PCM-S, MWSR, the
+// naive tiered NWL, and the paper's SAWL), attack and SPEC-like workload
+// generators, a lifetime measurement engine and a timing/IPC simulator.
+//
+// Quick start:
+//
+//	sys, _ := nvmwear.NewSystem(nvmwear.SystemConfig{
+//		Scheme:    nvmwear.SAWL,
+//		Lines:     1 << 20, // 64 MB of 64 B lines
+//		Endurance: 10000,
+//	})
+//	res := sys.RunLifetime(nvmwear.WorkloadSpec{Kind: nvmwear.WorkloadBPA}, 0)
+//	fmt.Printf("normalized lifetime: %.1f%%\n", 100*res.Normalized)
+//
+// The experiment runners (RunFig3 ... RunFig17, RunOverhead) regenerate
+// every data-bearing table and figure of the paper; see EXPERIMENTS.md.
+package nvmwear
+
+import (
+	"fmt"
+	"os"
+
+	"nvmwear/internal/analysis"
+	"nvmwear/internal/core"
+	"nvmwear/internal/lifetime"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/sim"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/mwsr"
+	"nvmwear/internal/wl/pcms"
+	"nvmwear/internal/wl/secref"
+	"nvmwear/internal/wl/segswap"
+	"nvmwear/internal/wl/startgap"
+	"nvmwear/internal/workload"
+)
+
+// SchemeKind selects a wear-leveling scheme.
+type SchemeKind string
+
+// The available schemes.
+const (
+	Baseline    SchemeKind = "baseline" // no wear leveling
+	SegmentSwap SchemeKind = "segswap"  // table-based [Zhou+ ISCA'09]
+	StartGap    SchemeKind = "startgap" // algebraic, single region [Qureshi+ MICRO'09]
+	RBSG        SchemeKind = "rbsg"     // region-based start-gap
+	TLSR        SchemeKind = "tlsr"     // two-level Security Refresh [Seong+ ISCA'10]
+	PCMS        SchemeKind = "pcms"     // hybrid [Seznec WEST'10]
+	MWSR        SchemeKind = "mwsr"     // hybrid multi-way [Yu & Du TC'14]
+	NWL         SchemeKind = "nwl"      // naive tiered (fixed granularity)
+	SAWL        SchemeKind = "sawl"     // the paper's contribution
+)
+
+// Schemes lists every scheme kind in evaluation order.
+func Schemes() []SchemeKind {
+	return []SchemeKind{Baseline, SegmentSwap, StartGap, RBSG, TLSR, PCMS, MWSR, NWL, SAWL}
+}
+
+// SystemConfig describes a simulated NVM system: the device plus one
+// wear-leveling scheme. Zero values select the paper's defaults.
+type SystemConfig struct {
+	Scheme SchemeKind
+
+	// Device geometry (paper Table 1 scaled; see EXPERIMENTS.md).
+	Lines      uint64  // logical data lines (power of two; default 1<<16)
+	SpareLines uint64  // default Lines/64 (paper: 4M spares on 256M lines)
+	Endurance  uint32  // per-cell write limit Wmax (default 10000)
+	Variation  float64 // optional endurance process variation (CoV)
+
+	// Shared scheme knobs.
+	RegionLines uint64 // Q for segswap/pcms/mwsr (default 4)
+	Regions     uint64 // region count for rbsg/tlsr (default 1024)
+	Period      uint64 // swapping period ψ (default 128)
+	OuterPeriod uint64 // TLSR outer period (default 32)
+
+	// Tiered-scheme knobs (NWL/SAWL).
+	InitGran     uint64 // P (default 4; use 64 for NWL-64)
+	MaxGranLines uint64 // SAWL region-size cap (default 256)
+	CMTEntries   int    // mapping-cache capacity (default 32768 = 256 KB)
+
+	// SAWL adaptation parameters (defaults = paper Sec 4.2).
+	LowThreshold      float64
+	HighThreshold     float64
+	SubQueueThreshold float64
+	ObservationWindow uint64
+	SettlingWindow    uint64
+	CheckEvery        uint64
+
+	// TrackData stores a payload word per line so data integrity can be
+	// verified (slower; tests use it, experiments usually do not).
+	TrackData bool
+
+	Seed uint64
+
+	// OnSample receives periodic hit-rate/region-size snapshots from
+	// tiered schemes (Figs 12-14).
+	OnSample func(core.Sample)
+}
+
+func (c SystemConfig) withDefaults() SystemConfig {
+	if c.Scheme == "" {
+		c.Scheme = SAWL
+	}
+	if c.Lines == 0 {
+		c.Lines = 1 << 16
+	}
+	if c.SpareLines == 0 {
+		c.SpareLines = c.Lines / 64
+	}
+	if c.Endurance == 0 {
+		c.Endurance = 10000
+	}
+	if c.RegionLines == 0 {
+		c.RegionLines = 4
+	}
+	if c.Regions == 0 {
+		c.Regions = 1024
+	}
+	if c.Period == 0 {
+		c.Period = 128
+	}
+	if c.OuterPeriod == 0 {
+		c.OuterPeriod = 32
+	}
+	if c.InitGran == 0 {
+		c.InitGran = 4
+	}
+	if c.MaxGranLines == 0 {
+		c.MaxGranLines = 256
+	}
+	if c.CMTEntries == 0 {
+		c.CMTEntries = 32768
+	}
+	return c
+}
+
+// System is a device bound to a wear-leveling scheme.
+type System struct {
+	cfg SystemConfig
+	dev *nvm.Device
+	lv  wl.Leveler
+}
+
+// NewSystem builds the device and scheme described by cfg.
+func NewSystem(cfg SystemConfig) (*System, error) {
+	cfg = cfg.withDefaults()
+	var coreCfg core.Config
+	extra := uint64(0)
+	switch cfg.Scheme {
+	case StartGap:
+		extra = 1
+	case RBSG:
+		extra = cfg.Regions
+	case NWL, SAWL:
+		coreCfg = core.Config{
+			Lines:             cfg.Lines,
+			InitGran:          cfg.InitGran,
+			MaxGranLines:      cfg.MaxGranLines,
+			Period:            cfg.Period,
+			CMTEntries:        cfg.CMTEntries,
+			Adaptive:          cfg.Scheme == SAWL,
+			LowThreshold:      cfg.LowThreshold,
+			HighThreshold:     cfg.HighThreshold,
+			SubQueueThreshold: cfg.SubQueueThreshold,
+			ObservationWindow: cfg.ObservationWindow,
+			SettlingWindow:    cfg.SettlingWindow,
+			CheckEvery:        cfg.CheckEvery,
+			Seed:              cfg.Seed,
+			OnSample:          cfg.OnSample,
+		}
+		extra = coreCfg.DeviceLines() - cfg.Lines
+	}
+
+	dev := nvm.New(nvm.Config{
+		Lines:      cfg.Lines + extra,
+		SpareLines: cfg.SpareLines,
+		Endurance:  cfg.Endurance,
+		Variation:  cfg.Variation,
+		Seed:       cfg.Seed,
+		TrackData:  cfg.TrackData,
+	})
+
+	var lv wl.Leveler
+	switch cfg.Scheme {
+	case Baseline:
+		lv = wl.NewIdentity(dev)
+	case SegmentSwap:
+		lv = segswap.New(dev, segswap.Config{
+			Lines: cfg.Lines, SegmentLines: cfg.RegionLines, Period: cfg.Period,
+		})
+	case StartGap:
+		lv = startgap.New(dev, startgap.Config{
+			Lines: cfg.Lines, Regions: 1, Period: cfg.Period,
+		})
+	case RBSG:
+		lv = startgap.New(dev, startgap.Config{
+			Lines: cfg.Lines, Regions: cfg.Regions, Period: cfg.Period,
+		})
+	case TLSR:
+		lv = secref.New(dev, secref.Config{
+			Lines: cfg.Lines, Regions: cfg.Regions,
+			InnerPeriod: cfg.Period, OuterPeriod: cfg.OuterPeriod, Seed: cfg.Seed,
+		})
+	case PCMS:
+		lv = pcms.New(dev, pcms.Config{
+			Lines: cfg.Lines, RegionLines: cfg.RegionLines,
+			Period: cfg.Period, Seed: cfg.Seed,
+		})
+	case MWSR:
+		lv = mwsr.New(dev, mwsr.Config{
+			Lines: cfg.Lines, RegionLines: cfg.RegionLines,
+			Period: cfg.Period, Seed: cfg.Seed,
+		})
+	case NWL, SAWL:
+		lv = core.New(dev, coreCfg)
+	default:
+		return nil, fmt.Errorf("nvmwear: unknown scheme %q", cfg.Scheme)
+	}
+	return &System{cfg: cfg, dev: dev, lv: lv}, nil
+}
+
+// Config returns the (defaulted) configuration.
+func (s *System) Config() SystemConfig { return s.cfg }
+
+// SchemeName returns the scheme's display name.
+func (s *System) SchemeName() string { return s.lv.Name() }
+
+// Alive reports whether the device still has spares.
+func (s *System) Alive() bool { return s.dev.Alive() }
+
+// Read performs a read of a logical line, returning the physical line it
+// was served from.
+func (s *System) Read(addr uint64) uint64 { return s.lv.Access(trace.Read, addr) }
+
+// Write performs a write of a logical line.
+func (s *System) Write(addr uint64) uint64 { return s.lv.Access(trace.Write, addr) }
+
+// Translate returns the current logical-to-physical mapping without side
+// effects.
+func (s *System) Translate(addr uint64) uint64 { return s.lv.Translate(addr) }
+
+// Lines returns the logical address-space size.
+func (s *System) Lines() uint64 { return s.cfg.Lines }
+
+// Stats summarizes system activity.
+type Stats struct {
+	DataWrites    uint64
+	DataReads     uint64
+	SwapWrites    uint64
+	MergeWrites   uint64
+	TableWrites   uint64
+	Remaps        uint64
+	WriteOverhead float64
+	CMTHitRate    float64
+	MaxWear       uint32
+	MeanWear      float64
+	WearGini      float64
+	SparesUsed    uint64
+	Dead          bool
+	OnChipBits    uint64
+}
+
+// Stats returns current counters.
+func (s *System) Stats() Stats {
+	st := s.lv.Stats()
+	ds := s.dev.Stats()
+	return Stats{
+		DataWrites:    st.DataWrites,
+		DataReads:     st.DataReads,
+		SwapWrites:    st.SwapWrites,
+		MergeWrites:   st.MergeWrites,
+		TableWrites:   st.TableWrites,
+		Remaps:        st.Remaps,
+		WriteOverhead: st.WriteOverhead(),
+		CMTHitRate:    st.HitRate(),
+		MaxWear:       ds.MaxWear,
+		MeanWear:      ds.MeanWear,
+		WearGini:      wearGini(s.dev),
+		SparesUsed:    ds.SparesUsed,
+		Dead:          ds.Dead,
+		OnChipBits:    s.lv.OverheadBits(),
+	}
+}
+
+// WorkloadKind selects a workload generator.
+type WorkloadKind string
+
+// The available workloads.
+const (
+	WorkloadRAA        WorkloadKind = "raa"
+	WorkloadBPA        WorkloadKind = "bpa"
+	WorkloadUniform    WorkloadKind = "uniform"
+	WorkloadSequential WorkloadKind = "sequential"
+	WorkloadSPEC       WorkloadKind = "spec" // set Name to a SPEC profile
+	WorkloadFile       WorkloadKind = "file" // set Path to a binary trace; loops
+)
+
+// WorkloadSpec describes a workload instance.
+type WorkloadSpec struct {
+	Kind WorkloadKind
+	Name string // SPEC profile name for WorkloadSPEC
+	// BPA repeats per address (default 64); RAA target; uniform write ratio.
+	Repeats    uint64
+	Target     uint64
+	WriteRatio float64
+	// RateCopies > 0 runs a SPEC profile in the paper's rate mode: that
+	// many independent copies over equal partitions of the address space
+	// (Sec 4.1 uses 8, one per core).
+	RateCopies int
+	// Path names a binary trace file (cmd/tracegen output) for
+	// WorkloadFile; the trace loops and addresses are folded into the
+	// system's address space.
+	Path string
+	Seed uint64
+}
+
+// Build instantiates the workload over an address space of `lines`.
+func (w WorkloadSpec) Build(lines uint64) (trace.Stream, string, error) {
+	switch w.Kind {
+	case WorkloadRAA:
+		return workload.NewRAA(w.Target % lines), "RAA", nil
+	case WorkloadBPA:
+		rep := w.Repeats
+		if rep == 0 {
+			rep = 64
+		}
+		return workload.NewBPA(w.Seed, lines, rep), "BPA", nil
+	case WorkloadUniform:
+		wr := w.WriteRatio
+		if wr == 0 {
+			wr = 1.0
+		}
+		return workload.NewUniform(w.Seed, lines, wr), "uniform", nil
+	case WorkloadSequential:
+		wr := w.WriteRatio
+		if wr == 0 {
+			wr = 1.0
+		}
+		return workload.NewSequential(w.Seed, lines, wr), "sequential", nil
+	case WorkloadSPEC:
+		p, ok := workload.ProfileByName(w.Name)
+		if !ok {
+			return nil, "", fmt.Errorf("nvmwear: unknown SPEC profile %q", w.Name)
+		}
+		if w.RateCopies > 0 {
+			return workload.NewRateMode(p, w.Seed, lines, w.RateCopies), p.Name, nil
+		}
+		return p.New(w.Seed, lines), p.Name, nil
+	case WorkloadFile:
+		f, err := os.Open(w.Path)
+		if err != nil {
+			return nil, "", fmt.Errorf("nvmwear: trace file: %w", err)
+		}
+		defer f.Close()
+		reqs, err := trace.ReadAll(f)
+		if err != nil {
+			return nil, "", fmt.Errorf("nvmwear: trace file %s: %w", w.Path, err)
+		}
+		if len(reqs) == 0 {
+			return nil, "", fmt.Errorf("nvmwear: trace file %s is empty", w.Path)
+		}
+		for i := range reqs {
+			reqs[i].Addr %= lines
+		}
+		return trace.NewLoop(reqs), "trace:" + w.Path, nil
+	default:
+		return nil, "", fmt.Errorf("nvmwear: unknown workload kind %q", w.Kind)
+	}
+}
+
+// LifetimeResult re-exports the lifetime engine's result.
+type LifetimeResult = lifetime.Result
+
+// RunLifetime drives the workload until device failure (or maxWrites
+// demand writes; 0 = 4x ideal writes) and reports the normalized lifetime.
+func (s *System) RunLifetime(w WorkloadSpec, maxWrites uint64) (LifetimeResult, error) {
+	stream, name, err := w.Build(s.cfg.Lines)
+	if err != nil {
+		return LifetimeResult{}, err
+	}
+	return lifetime.Run(s.dev, s.lv, stream, lifetime.Options{
+		MaxWrites: maxWrites, Workload: name,
+	}), nil
+}
+
+// TimingResult re-exports the timing simulator's result.
+type TimingResult = sim.Result
+
+// RunTiming simulates `requests` memory requests through the timing model
+// and reports IPC. instrPerMemReq <= 0 selects the per-benchmark default.
+func (s *System) RunTiming(w WorkloadSpec, requests uint64, instrPerMemReq float64) (TimingResult, error) {
+	stream, name, err := w.Build(s.cfg.Lines)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	if instrPerMemReq <= 0 {
+		if v, ok := sim.InstrPerMemReq[name]; ok {
+			instrPerMemReq = v
+		} else {
+			instrPerMemReq = 30
+		}
+	}
+	return sim.Run(s.lv, stream, sim.Config{
+		Requests:       requests,
+		InstrPerMemReq: instrPerMemReq,
+	}), nil
+}
+
+// SpecBenchmarks returns the 14 SPEC CPU2006 profile names in the paper's
+// evaluation order.
+func SpecBenchmarks() []string { return workload.Names() }
+
+// WearCounts exposes the device's per-line wear counters (shared slice —
+// treat as read-only). Used by cmd/wearviz and analysis tooling.
+func (s *System) WearCounts() []uint32 { return s.dev.WearCounts() }
+
+// coreScheme returns the underlying tiered engine when the scheme is NWL
+// or SAWL, or nil otherwise. Used by ablation benches and tests that need
+// to drive structural operations directly.
+func (s *System) coreScheme() *core.Scheme {
+	if c, ok := s.lv.(*core.Scheme); ok {
+		return c
+	}
+	return nil
+}
+
+// Merges returns the number of region-merge operations a tiered scheme has
+// performed (0 for non-tiered schemes).
+func (s *System) Merges() uint64 {
+	if c := s.coreScheme(); c != nil {
+		return c.Merges()
+	}
+	return 0
+}
+
+// Splits returns the number of region-split operations a tiered scheme has
+// performed (0 for non-tiered schemes).
+func (s *System) Splits() uint64 {
+	if c := s.coreScheme(); c != nil {
+		return c.Splits()
+	}
+	return 0
+}
+
+// Checkpoint serializes the tiered controller's battery-flushed metadata
+// (GTD directory, IMT contents, counters, adaptation state) for crash
+// recovery. Returns nil for non-tiered schemes.
+func (s *System) Checkpoint() []byte {
+	if c := s.coreScheme(); c != nil {
+		return c.Checkpoint()
+	}
+	return nil
+}
+
+// RecoverSystem rebuilds a tiered system after a simulated power failure:
+// the surviving device (with its wear state and NVM-resident tables) plus
+// the last checkpoint. cfg must describe the same geometry as the original
+// system. Only NWL/SAWL systems support recovery.
+func RecoverSystem(old *System, checkpoint []byte) (*System, error) {
+	cfg := old.cfg
+	if cfg.Scheme != NWL && cfg.Scheme != SAWL {
+		return nil, fmt.Errorf("nvmwear: scheme %q does not support recovery", cfg.Scheme)
+	}
+	coreCfg := core.Config{
+		Lines:             cfg.Lines,
+		InitGran:          cfg.InitGran,
+		MaxGranLines:      cfg.MaxGranLines,
+		Period:            cfg.Period,
+		CMTEntries:        cfg.CMTEntries,
+		Adaptive:          cfg.Scheme == SAWL,
+		LowThreshold:      cfg.LowThreshold,
+		HighThreshold:     cfg.HighThreshold,
+		SubQueueThreshold: cfg.SubQueueThreshold,
+		ObservationWindow: cfg.ObservationWindow,
+		SettlingWindow:    cfg.SettlingWindow,
+		CheckEvery:        cfg.CheckEvery,
+		Seed:              cfg.Seed,
+		OnSample:          cfg.OnSample,
+	}
+	sch, err := core.Recover(old.dev, coreCfg, checkpoint)
+	if err != nil {
+		return nil, err
+	}
+	return &System{cfg: cfg, dev: old.dev, lv: sch}, nil
+}
+
+// EnergyPJ returns the device's total dynamic access energy in picojoules
+// (writes dominate on MLC NVM; wear-leveling write amplification shows up
+// here directly).
+func (s *System) EnergyPJ() float64 { return s.dev.EnergyPJ() }
+
+// WearReport summarizes the device's per-line wear distribution.
+func (s *System) WearReport() analysis.WearReport {
+	return analysis.Wear(s.dev.WearCounts())
+}
+
+// ProjectLifetime converts a measured normalized lifetime into a
+// wall-clock projection for a full-size device — the paper's Sec 2.2
+// arithmetic (64 GB at 10^5 endurance and 1 GBps writes = 2.5 ideal
+// months).
+func ProjectLifetime(capacityBytes, endurance uint64, writeBandwidthBytesPerSec, normalized float64) analysis.Projection {
+	return analysis.Projection{
+		CapacityBytes:  capacityBytes,
+		LineBytes:      64,
+		Endurance:      endurance,
+		WriteBandwidth: writeBandwidthBytesPerSec,
+		Normalized:     normalized,
+	}
+}
+
+// RunTimingEvent is RunTiming using the event-driven reference model
+// (discrete-event FR-FCFS banks) instead of the fast analytic model. The
+// two are cross-validated in the test suite.
+func (s *System) RunTimingEvent(w WorkloadSpec, requests uint64, instrPerMemReq float64) (TimingResult, error) {
+	stream, name, err := w.Build(s.cfg.Lines)
+	if err != nil {
+		return TimingResult{}, err
+	}
+	if instrPerMemReq <= 0 {
+		if v, ok := sim.InstrPerMemReq[name]; ok {
+			instrPerMemReq = v
+		} else {
+			instrPerMemReq = 30
+		}
+	}
+	return sim.RunEvent(s.lv, stream, sim.Config{
+		Requests:       requests,
+		InstrPerMemReq: instrPerMemReq,
+	}), nil
+}

@@ -1,0 +1,433 @@
+package nvmwear
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"nvmwear/internal/trace"
+)
+
+func TestNewSystemAllSchemes(t *testing.T) {
+	for _, kind := range Schemes() {
+		sys, err := NewSystem(SystemConfig{
+			Scheme: kind, Lines: 1 << 12, Endurance: 1 << 30, SpareLines: 1,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if sys.SchemeName() == "" || !sys.Alive() || sys.Lines() != 1<<12 {
+			t.Fatalf("%s: bad system state", kind)
+		}
+		// Smoke: access and translation stay in the device.
+		for i := uint64(0); i < 1000; i++ {
+			sys.Write(i % (1 << 12))
+			sys.Read(i * 7 % (1 << 12))
+		}
+		st := sys.Stats()
+		if st.DataWrites != 1000 || st.DataReads != 1000 {
+			t.Fatalf("%s: stats %+v", kind, st)
+		}
+	}
+}
+
+func TestNewSystemUnknownScheme(t *testing.T) {
+	if _, err := NewSystem(SystemConfig{Scheme: "bogus"}); err == nil {
+		t.Fatal("unknown scheme accepted")
+	}
+}
+
+func TestSystemDefaults(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sys.Config()
+	if cfg.Scheme != SAWL || cfg.Lines != 1<<16 || cfg.Endurance != 10000 {
+		t.Fatalf("defaults: %+v", cfg)
+	}
+	if cfg.CMTEntries != 32768 {
+		t.Fatalf("CMT default: %d", cfg.CMTEntries)
+	}
+}
+
+func TestWorkloadSpecBuild(t *testing.T) {
+	cases := []WorkloadSpec{
+		{Kind: WorkloadRAA, Target: 5},
+		{Kind: WorkloadBPA, Seed: 1},
+		{Kind: WorkloadUniform, WriteRatio: 0.5},
+		{Kind: WorkloadSequential},
+		{Kind: WorkloadSPEC, Name: "gcc"},
+	}
+	for _, w := range cases {
+		stream, name, err := w.Build(1 << 12)
+		if err != nil {
+			t.Fatalf("%s: %v", w.Kind, err)
+		}
+		if name == "" {
+			t.Fatalf("%s: empty name", w.Kind)
+		}
+		for i := 0; i < 100; i++ {
+			if r := stream.Next(); r.Addr >= 1<<12 {
+				t.Fatalf("%s: address out of range", w.Kind)
+			}
+		}
+	}
+	if _, _, err := (WorkloadSpec{Kind: WorkloadSPEC, Name: "nope"}).Build(1 << 12); err == nil {
+		t.Fatal("unknown SPEC profile accepted")
+	}
+	if _, _, err := (WorkloadSpec{Kind: "bogus"}).Build(1 << 12); err == nil {
+		t.Fatal("unknown workload kind accepted")
+	}
+}
+
+func TestRunLifetimeSmoke(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Scheme: PCMS, Lines: 1 << 10, SpareLines: 32, Endurance: 200, RegionLines: 4, Period: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunLifetime(WorkloadSpec{Kind: WorkloadBPA, Seed: 3, Repeats: 16}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Normalized <= 0 || res.Normalized > 1 {
+		t.Fatalf("normalized %v", res.Normalized)
+	}
+	if res.TimedOut {
+		t.Fatal("BPA lifetime run timed out")
+	}
+}
+
+func TestRunTimingSmoke(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{
+		Scheme: NWL, Lines: 1 << 14, SpareLines: 1, Endurance: 1 << 30, InitGran: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunTiming(WorkloadSpec{Kind: WorkloadSPEC, Name: "bzip2", Seed: 1}, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IPC <= 0 {
+		t.Fatalf("IPC %v", res.IPC)
+	}
+}
+
+func TestSpecBenchmarksList(t *testing.T) {
+	if len(SpecBenchmarks()) != 14 {
+		t.Fatalf("%d benchmarks", len(SpecBenchmarks()))
+	}
+}
+
+func TestScalePresets(t *testing.T) {
+	for _, name := range []string{"small", "medium", "large"} {
+		sc, err := ScaleByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sc.AttackLines == 0 || sc.SpecLines == 0 || sc.Requests == 0 || sc.CMTEntries == 0 {
+			t.Fatalf("%s: incomplete preset %+v", name, sc)
+		}
+		if sc.lowAttackEndurance() >= sc.AttackEndurance {
+			t.Fatalf("%s: low endurance not lower", name)
+		}
+		if sc.attackSpares() == 0 || sc.specSpares() == 0 {
+			t.Fatalf("%s: zero spares", name)
+		}
+	}
+	if _, err := ScaleByName("bogus"); err == nil {
+		t.Fatal("unknown scale accepted")
+	}
+}
+
+func TestSeriesTableRender(t *testing.T) {
+	a := Series{Label: "A"}
+	a.Append(1, 10)
+	a.Append(2, 20)
+	b := Series{Label: "B"}
+	b.Append(2, 99)
+	tab := SeriesTable("demo", "x", []Series{a, b}, "%.0f")
+	out := tab.Render()
+	for _, want := range []string{"demo", "A", "B", "10", "99"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+	if len(tab.Rows) != 2 {
+		t.Fatalf("rows: %d", len(tab.Rows))
+	}
+}
+
+func TestTrimFloat(t *testing.T) {
+	if trimFloat(4) != "4" || trimFloat(2.5) != "2.5" {
+		t.Fatal("trimFloat")
+	}
+}
+
+func TestRunOverheadMatchesPaper(t *testing.T) {
+	// Sec 4.5: 64 GB, 64M regions => IMT 224 MB (0.3% of capacity), GTD
+	// ~80 KB at translation-line wear-leveling granularity 32.
+	r := RunOverhead(64<<30, 64<<20, 32)
+	imtMB := float64(r.IMTBytes) / (1 << 20)
+	if imtMB < 200 || imtMB > 250 {
+		t.Fatalf("IMT = %.0f MB, paper says 224", imtMB)
+	}
+	if r.IMTFraction < 0.002 || r.IMTFraction > 0.005 {
+		t.Fatalf("IMT fraction %.4f, paper says 0.003", r.IMTFraction)
+	}
+	gtdKB := float64(r.GTDBytes) / (1 << 10)
+	if gtdKB < 40 || gtdKB > 160 {
+		t.Fatalf("GTD = %.0f KB, paper says ~80", gtdKB)
+	}
+	// The avoided cost: a fully on-chip PCM-S table at this region count
+	// is hundreds of MB.
+	if r.PCMSOnChipBytes < 100<<20 {
+		t.Fatalf("PCM-S on-chip %d too small", r.PCMSOnChipBytes)
+	}
+	if r.MWSROnChipBytes <= r.PCMSOnChipBytes {
+		t.Fatal("MWSR entries must be bigger than PCM-S")
+	}
+	if !strings.Contains(r.Render(), "GTD") || !strings.Contains(r.Render(), "IMT") {
+		t.Fatalf("render:\n%s", r.Render())
+	}
+}
+
+func TestRunTable1(t *testing.T) {
+	tab := RunTable1()
+	if len(tab.Rows) < 6 {
+		t.Fatalf("table 1 rows: %d", len(tab.Rows))
+	}
+	out := tab.Render()
+	for _, want := range []string{"8 cores", "512 KB", "350 ns", "55 ns"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table 1 missing %q", want)
+		}
+	}
+}
+
+func TestRegionsForBudgetMonotone(t *testing.T) {
+	prev := uint64(0)
+	for _, b := range []uint64{1 << 10, 1 << 12, 1 << 14} {
+		r := regionsForBudget(PCMS, b, 1<<20)
+		if r < prev {
+			t.Fatalf("regions not monotone in budget: %d after %d", r, prev)
+		}
+		prev = r
+	}
+	// MWSR must afford fewer regions at equal budget.
+	if regionsForBudget(MWSR, 1<<12, 1<<20) > regionsForBudget(PCMS, 1<<12, 1<<20) {
+		t.Fatal("MWSR regions exceed PCM-S at equal budget")
+	}
+}
+
+// tinyScale keeps figure-runner integration tests fast.
+func tinyScale() Scale {
+	return Scale{
+		Name:            "tiny",
+		AttackLines:     1 << 10,
+		AttackEndurance: 800,
+		SpecLines:       1 << 10,
+		SpecEndurance:   600,
+		SpecPeriod:      8,
+		TraceLines:      1 << 18,
+		Requests:        1 << 17,
+		CMTEntries:      256,
+		SpareFrac:       32,
+		Seed:            7,
+	}
+}
+
+func TestRunFig3Shape(t *testing.T) {
+	series := RunFig3(tinyScale())
+	if len(series) != 8 {
+		t.Fatalf("%d series", len(series))
+	}
+	// Lifetime must rise with the number of regions for each series.
+	for _, s := range series {
+		first, last := s.Y[0], s.Y[len(s.Y)-1]
+		if last < first {
+			t.Errorf("%s: lifetime fell from %.1f to %.1f with more regions", s.Label, first, last)
+		}
+	}
+}
+
+func TestRunFig4Shape(t *testing.T) {
+	series := RunFig4(tinyScale())
+	if len(series) != 16 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s: hybrid lifetime not rising with regions", s.Label)
+		}
+	}
+}
+
+func TestRunFig5Shape(t *testing.T) {
+	series := RunFig5(tinyScale())
+	if len(series) != 4 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if s.Y[len(s.Y)-1] < s.Y[0] {
+			t.Errorf("%s: lifetime not improving with cache budget", s.Label)
+		}
+	}
+}
+
+func TestRunFig15SAWLWins(t *testing.T) {
+	series := RunFig15(tinyScale())
+	if len(series) != 6 {
+		t.Fatalf("%d series", len(series))
+	}
+	// At each endurance level, SAWL's best point must beat PCM-S's and
+	// MWSR's best points (the paper's headline claim).
+	best := map[string]float64{}
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y > best[s.Label] {
+				best[s.Label] = y
+			}
+		}
+	}
+	for _, pair := range [][2]string{
+		{"sawl Wmax=800", "pcms Wmax=800"},
+		{"sawl Wmax=800", "mwsr Wmax=800"},
+		{"sawl Wmax=160", "pcms Wmax=160"},
+		{"sawl Wmax=160", "mwsr Wmax=160"},
+	} {
+		if best[pair[0]] <= best[pair[1]] {
+			t.Errorf("%s (%.1f) does not beat %s (%.1f)",
+				pair[0], best[pair[0]], pair[1], best[pair[1]])
+		}
+	}
+}
+
+func TestRunFig12Produces(t *testing.T) {
+	series := RunFig12(tinyScale())
+	if len(series) != 4 {
+		t.Fatalf("%d series", len(series))
+	}
+	for _, s := range series {
+		if len(s.Y) == 0 {
+			t.Fatalf("%s: empty trace", s.Label)
+		}
+		for _, y := range s.Y {
+			if y < 0 || y > 100 {
+				t.Fatalf("%s: hit rate %v", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestRunFig13Produces(t *testing.T) {
+	series, avg := RunFig13(tinyScale())
+	if len(series) != 4 || len(avg) != 4 {
+		t.Fatalf("series %d avg %d", len(series), len(avg))
+	}
+	for _, s := range series {
+		for _, y := range s.Y {
+			if y < 1 {
+				t.Fatalf("%s: region size %v below one line", s.Label, y)
+			}
+		}
+	}
+}
+
+func TestRunFig14Ordering(t *testing.T) {
+	res := RunFig14(tinyScale())
+	if len(res) != 3 {
+		t.Fatalf("%d panels", len(res))
+	}
+	for _, r := range res {
+		// The paper's Fig 14 invariant: NWL-4 <= SAWL <= NWL-64 hit rates
+		// (allowing slack for the scaled runs).
+		if r.AvgNWL64 < r.AvgNWL4 {
+			t.Errorf("%s: NWL-64 (%.1f) below NWL-4 (%.1f)", r.Bench, r.AvgNWL64, r.AvgNWL4)
+		}
+		if r.AvgSAWL < r.AvgNWL4-5 {
+			t.Errorf("%s: SAWL (%.1f) below NWL-4 (%.1f)", r.Bench, r.AvgSAWL, r.AvgNWL4)
+		}
+	}
+}
+
+func TestWearReportAndProjection(t *testing.T) {
+	sys, err := NewSystem(SystemConfig{Scheme: Baseline, Lines: 1 << 10, SpareLines: 1, Endurance: 1 << 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		sys.Write(uint64(i) % 256)
+	}
+	r := sys.WearReport()
+	if r.Lines != 1<<10 || r.Max == 0 {
+		t.Fatalf("report: %+v", r)
+	}
+	p := ProjectLifetime(64<<30, 1e5, 1<<30, 0.85)
+	months := p.Projected().Hours() / 720
+	if months < 1.8 || months > 2.6 {
+		t.Fatalf("projected %.2f months for 85%% of 2.5", months)
+	}
+}
+
+func TestWorkloadFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/t.trace"
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := trace.NewWriter(f)
+	for i := uint64(0); i < 100; i++ {
+		w.Write(trace.Request{Op: trace.Write, Addr: i * 3})
+	}
+	w.Flush()
+	f.Close()
+
+	stream, name, err := WorkloadSpec{Kind: WorkloadFile, Path: path}.Build(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name == "" {
+		t.Fatal("empty name")
+	}
+	for i := 0; i < 300; i++ { // loops past the 100-entry trace
+		if r := stream.Next(); r.Addr >= 64 {
+			t.Fatalf("address %d not folded", r.Addr)
+		}
+	}
+	if _, _, err := (WorkloadSpec{Kind: WorkloadFile, Path: dir + "/missing"}).Build(64); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+func TestRunTimingEventCrossCheck(t *testing.T) {
+	mk := func() *System {
+		sys, err := NewSystem(SystemConfig{
+			Scheme: NWL, Lines: 1 << 14, SpareLines: 1, Endurance: 1 << 30,
+			InitGran: 4, CMTEntries: 512, Seed: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sys
+	}
+	w := WorkloadSpec{Kind: WorkloadSPEC, Name: "milc", Seed: 5}
+	analytic, err := mk().RunTiming(w, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	event, err := mk().RunTimingEvent(w, 100000, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if analytic.IPC <= 0 || event.IPC <= 0 {
+		t.Fatalf("IPC: analytic %v event %v", analytic.IPC, event.IPC)
+	}
+	if ratio := analytic.IPC / event.IPC; ratio < 0.4 || ratio > 2.5 {
+		t.Fatalf("models diverge: analytic %.3f vs event %.3f", analytic.IPC, event.IPC)
+	}
+}

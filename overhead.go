@@ -1,0 +1,95 @@
+package nvmwear
+
+import (
+	"fmt"
+
+	"nvmwear/internal/addr"
+	"nvmwear/internal/wl/mwsr"
+	"nvmwear/internal/wl/pcms"
+)
+
+// This file implements Sec 4.5's hardware-overhead arithmetic and Table 1.
+
+// OverheadReport holds the storage costs of the tiered architecture for a
+// full-size configuration.
+type OverheadReport struct {
+	CapacityBytes    uint64
+	Lines            uint64
+	Regions          uint64
+	IMTBytes         uint64  // NVM reserved space for the mapping table
+	IMTFraction      float64 // IMT / capacity
+	TranslationLines uint64
+	GTDBytes         uint64 // on-chip directory
+	PCMSOnChipBytes  uint64 // what PCM-S would need fully on chip
+	MWSROnChipBytes  uint64 // what MWSR would need fully on chip
+}
+
+// RunOverhead reproduces the Sec 4.5 numbers. With the paper's 64 GB
+// device (2^30 lines of 64 B) and 64M regions it reports a 224 MB IMT
+// (0.3% of capacity) and an ~80 KB GTD at translation-line wear-leveling
+// granularity 32.
+func RunOverhead(capacityBytes uint64, regions uint64, gtdGranularity uint64) OverheadReport {
+	const lineBytes = 64
+	lines := capacityBytes / lineBytes
+	mBits := uint64(addr.Log2(lines)) // m+n bits per IMT entry (Fig 10)
+	imtBits := regions * mBits
+	imtBytes := imtBits / 8
+	// Translation lines: entries packed into 256 B lines in the paper's
+	// arithmetic (l = O(IMT) / (8*256) with O(IMT) in bits).
+	transLines := imtBytes / 256
+	gtdEntries := transLines / gtdGranularity
+	gtdEntryBits := uint64(1)
+	for uint64(1)<<gtdEntryBits < transLines {
+		gtdEntryBits++
+	}
+	return OverheadReport{
+		CapacityBytes:    capacityBytes,
+		Lines:            lines,
+		Regions:          regions,
+		IMTBytes:         imtBytes,
+		IMTFraction:      float64(imtBytes) / float64(capacityBytes),
+		TranslationLines: transLines,
+		GTDBytes:         gtdEntries * gtdEntryBits / 8,
+		PCMSOnChipBytes:  regions * (pcms.EntryBits(regions, lines/regions) + 24) / 8,
+		MWSROnChipBytes:  regions * (mwsr.EntryBits(regions, lines/regions) + 24) / 8,
+	}
+}
+
+// Render formats the report.
+func (r OverheadReport) Render() string {
+	return fmt.Sprintf(`== Hardware overhead (Sec 4.5) ==
+capacity            %d GB
+lines               %d
+regions             %d
+IMT (NVM reserved)  %.0f MB (%.2f%% of capacity)
+translation lines   %d
+GTD (on-chip)       %.0f KB
+PCM-S table on chip %.0f MB (the cost SAWL avoids)
+MWSR table on chip  %.0f MB
+`,
+		r.CapacityBytes>>30, r.Lines, r.Regions,
+		float64(r.IMTBytes)/(1<<20), 100*r.IMTFraction,
+		r.TranslationLines,
+		float64(r.GTDBytes)/(1<<10),
+		float64(r.PCMSOnChipBytes)/(1<<20),
+		float64(r.MWSROnChipBytes)/(1<<20))
+}
+
+// RunTable1 returns the paper's simulated-system configuration (Table 1)
+// as implemented by this library's defaults.
+func RunTable1() Table {
+	return Table{
+		Title:   "Table 1: simulated system configuration",
+		Columns: []string{"component", "configuration"},
+		Rows: [][]string{
+			{"CPU", "8 cores, X86-64, 3.2 GHz (internal/sim)"},
+			{"Private L1 cache", "64 KB (folded into per-benchmark instr/mem-req)"},
+			{"Shared L2 cache", "512 KB, 16-way, write-back (internal/cache)"},
+			{"CMT cache", "256 KB = 32768 entries (internal/cmt)"},
+			{"DRAM/PCM capacity", "128 MB / 8 GB (scaled per experiment; see EXPERIMENTS.md)"},
+			{"Read/Write latency", "DRAM 50/50 ns, PCM 50/350 ns (internal/nvm, internal/sim)"},
+			{"Address translation", "cache hit 5 ns, miss 55 ns (internal/sim)"},
+			{"Memory controller", "FR-FCFS-like banked queue, 16 banks (internal/sim)"},
+		},
+	}
+}
