@@ -11,6 +11,8 @@ package nvmwear
 // paper-vs-measured comparison).
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"nvmwear/internal/core"
@@ -70,6 +72,35 @@ func BenchmarkFig3_TLSRLifetime(b *testing.B) {
 		if i == b.N-1 {
 			reportSeries(b, series, "pctLife")
 		}
+	}
+}
+
+// BenchmarkParallelFig3 measures the parallel experiment engine on the
+// Fig 3 sweep (56 independent lifetime runs): the serial baseline (-j1)
+// against fixed worker counts and every available core. On a multicore
+// host the jN variants approach n-fold speedup (the acceptance target is
+// >=3x at 4 workers); on a single-core host they all collapse to the
+// serial time. Tables are byte-identical across variants — only the
+// wall-clock changes.
+func BenchmarkParallelFig3(b *testing.B) {
+	seen := map[int]bool{}
+	for _, j := range []int{1, 2, 4, 8, runtime.GOMAXPROCS(0)} {
+		if seen[j] || (j > runtime.GOMAXPROCS(0) && j != 1) {
+			continue // dedupe; don't report fake speedups on smaller hosts
+		}
+		seen[j] = true
+		sc := benchScale()
+		sc.Parallelism = j
+		b.Run(fmt.Sprintf("j%d", j), func(b *testing.B) {
+			var jobs int
+			sc.Progress = func(done, total int) { jobs = total }
+			for i := 0; i < b.N; i++ {
+				if series := RunFig3(sc); len(series) == 0 {
+					b.Fatal("empty fig3")
+				}
+			}
+			b.ReportMetric(float64(jobs), "jobs")
+		})
 	}
 }
 

@@ -3,10 +3,15 @@
 //
 // Usage:
 //
-//	wlsim [-scale small|medium|large] [-seed N] <experiment>
+//	wlsim [-scale small|medium|large] [-seed N] [-j N] <experiment>
 //
 // where <experiment> is one of: table1, fig3, fig4, fig5, fig12, fig13,
 // fig14, fig15, fig16, fig17, overhead, all.
+//
+// Sweeps fan out across -j worker goroutines (default: all cores). Output
+// tables are byte-identical for every -j value: jobs are independent
+// simulations, collected in submission order, each seeded from
+// (seed, job index).
 //
 // Each experiment prints the same rows/series the paper reports, on a
 // scaled-down device (see EXPERIMENTS.md for the scaling rules and the
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"nvmwear"
@@ -25,6 +31,8 @@ import (
 func main() {
 	scaleName := flag.String("scale", "medium", "experiment scale: small|medium|large")
 	seed := flag.Uint64("seed", 42, "experiment seed")
+	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel sweep jobs (0 = all cores)")
+	quiet := flag.Bool("q", false, "suppress per-job progress on stderr")
 	format := flag.String("format", "text", "output format: text|csv|json")
 	normalized := flag.Float64("normalized", 0.85, "project: measured normalized lifetime")
 	endurance := flag.Float64("endurance", 1e5, "project: cell endurance Wmax")
@@ -44,8 +52,23 @@ func main() {
 		os.Exit(2)
 	}
 	sc.Seed = *seed
+	sc.Parallelism = *workers
 
 	var currentFig string
+	var jobsDone, jobsTotal int
+	if !*quiet {
+		// Per-job progress on stderr: one carriage-returned counter line
+		// per sweep, cleared when the sweep completes.
+		sc.Progress = func(done, total int) {
+			jobsDone, jobsTotal = done, total
+			fmt.Fprintf(os.Stderr, "\r%s: job %d/%d", currentFig, done, total)
+			if done == total {
+				fmt.Fprint(os.Stderr, "\r\033[K")
+			}
+		}
+	} else {
+		sc.Progress = func(done, total int) { jobsDone, jobsTotal = done, total }
+	}
 	emit := func(title, xName string, series []nvmwear.Series) {
 		if err := nvmwear.FormatSeries(os.Stdout, *format, title, xName, series); err != nil {
 			fmt.Fprintln(os.Stderr, err)
@@ -71,6 +94,7 @@ func main() {
 	run := func(name string) bool {
 		start := time.Now()
 		currentFig = name
+		jobsDone, jobsTotal = 0, 0
 		ok := true
 		switch name {
 		case "table1":
@@ -137,7 +161,14 @@ func main() {
 			ok = false
 		}
 		if ok {
-			fmt.Printf("[%s completed in %v at scale %s]\n\n", name, time.Since(start).Round(time.Millisecond), sc.Name)
+			elapsed := time.Since(start)
+			if jobsTotal > 0 {
+				fmt.Printf("[%s completed in %v at scale %s: %d jobs, %.1f jobs/s, -j %d]\n\n",
+					name, elapsed.Round(time.Millisecond), sc.Name,
+					jobsDone, float64(jobsDone)/elapsed.Seconds(), effectiveWorkers(sc.Parallelism))
+			} else {
+				fmt.Printf("[%s completed in %v at scale %s]\n\n", name, elapsed.Round(time.Millisecond), sc.Name)
+			}
 		}
 		return ok
 	}
@@ -187,27 +218,43 @@ func relabelBenches(tab *nvmwear.Table) {
 	}
 }
 
-// runAttack prints each scheme's RAA/BPA lifetimes and a verdict.
+// effectiveWorkers resolves the -j value the pool actually used.
+func effectiveWorkers(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// runAttack prints each scheme's RAA/BPA lifetimes and a verdict. The
+// seven schemes are scored concurrently on the scale's pool.
 func runAttack(sc nvmwear.Scale) {
-	fmt.Printf("%-12s  %12s  %12s  verdict\n", "scheme", "RAA life%", "BPA life%")
-	for _, kind := range []nvmwear.SchemeKind{
+	kinds := []nvmwear.SchemeKind{
 		nvmwear.Baseline, nvmwear.SegmentSwap, nvmwear.RBSG,
 		nvmwear.TLSR, nvmwear.PCMS, nvmwear.MWSR, nvmwear.SAWL,
-	} {
-		score, err := nvmwear.RunAttackScore(sc, kind)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+	}
+	scores, err := nvmwear.RunAttackScores(sc, kinds)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("%-12s  %12s  %12s  verdict\n", "scheme", "RAA life%", "BPA life%")
+	for i, kind := range kinds {
 		fmt.Printf("%-12s  %11.1f%%  %11.1f%%  %s\n", kind,
-			100*score.RAANormalized, 100*score.BPANormalized, score.Verdict())
+			100*scores[i].RAANormalized, 100*scores[i].BPANormalized, scores[i].Verdict())
 	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `wlsim regenerates the SAWL paper's tables and figures.
 
-usage: wlsim [-scale small|medium|large] [-seed N] <experiment>
+usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-q] <experiment>
+
+Sweeps run as -j parallel jobs (default: all cores; each sweep reports
+wall-clock and jobs/s). Tables are byte-identical for every -j value:
+jobs are independent, results are collected in submission order, and job
+i is seeded deterministically from (seed, i). -q silences the per-job
+progress counter printed to stderr.
 
 experiments:
   table1    simulated system configuration (Table 1)

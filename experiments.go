@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"time"
 
+	"nvmwear/internal/exec"
 	"nvmwear/internal/metrics"
 	"nvmwear/internal/nvm"
 )
@@ -155,6 +157,18 @@ type Scale struct {
 	// SpareFrac: spares = lines/SpareFrac.
 	SpareFrac uint64
 	Seed      uint64
+
+	// Parallelism bounds the number of sweep jobs running concurrently
+	// (cmd/wlsim's -j flag). 0 selects runtime.GOMAXPROCS(0). Results are
+	// identical for every value: jobs are independent, returned in
+	// submission order, and seeded from (Seed, job index) — see
+	// internal/exec.
+	Parallelism int
+
+	// Progress, when non-nil, is called after each completed sweep job
+	// with the finished and total job counts. Calls are serialized by the
+	// pool; cmd/wlsim wires this to stderr.
+	Progress func(done, total int)
 }
 
 // ScaleSmall regenerates every figure in seconds to a few minutes — the
@@ -241,4 +255,31 @@ func (sc Scale) traceLines() uint64 {
 		return sc.TraceLines
 	}
 	return sc.SpecLines
+}
+
+// pool builds the scale's experiment engine: Parallelism workers and
+// per-job seeds derived from Seed.
+func (sc Scale) pool() *exec.Pool {
+	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed}
+	if sc.Progress != nil {
+		p.OnDone = func(done, total int, _ time.Duration) { sc.Progress(done, total) }
+	}
+	return p
+}
+
+// runJobs fans n experiment jobs out on the scale's pool and returns their
+// results in submission order. Figure runners have no error path, so a
+// failing job panics — the same behaviour the serial loops had.
+//
+// Seeding convention: lifetime sweeps pass the job's derived seed into the
+// workload and scheme they build, giving every point an independent random
+// stream regardless of worker count. Fixed-length trace figures (12-14, 17)
+// instead keep sc.Seed so all panels of one figure observe the identical
+// request stream — those figures compare configurations on the same trace.
+func runJobs[T any](sc Scale, n int, fn func(i int, seed uint64) (T, error)) []T {
+	out, err := exec.Map(sc.pool(), n, fn)
+	if err != nil {
+		panic(err)
+	}
+	return out
 }

@@ -72,28 +72,41 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 // benchmark. Small windows fluctuate; large windows flatten and miss the
 // adjustment points (Sec 4.2 item 1). Window sizes are scaled from the
 // paper's 2^20-2^26 sweep proportionally to Scale.Requests.
+//
+// The four window sizes run as parallel jobs. Each job keeps sc.Seed (not
+// the job-derived seed): the figure compares window sizes on the identical
+// soplex request stream, as the serial loops did.
 func RunFig12(sc Scale) []Series {
-	var out []Series
-	for _, sow := range scaledWindows(sc) {
+	windows := scaledWindows(sc)
+	return runJobs(sc, len(windows), func(i int, _ uint64) (Series, error) {
+		sow := windows[i]
 		hit, _, _ := runTrace(sc, "soplex", sow, sc.Requests/4)
 		hit.Label = fmt.Sprintf("SOW=2^%d", log2u(sow))
-		out = append(out, hit)
-	}
-	return out
+		return hit, nil
+	})
 }
 
 // RunFig13 reproduces Fig 13: the region-size trajectory for different
 // settling-window sizes under soplex, each annotated (via the returned
 // avg map) with the average cache hit rate — the paper's per-panel labels.
+// Parallelized like RunFig12, sharing sc.Seed across jobs.
 func RunFig13(sc Scale) ([]Series, map[string]float64) {
+	windows := scaledWindows(sc)
+	type point struct {
+		size   Series
+		avgHit float64
+	}
+	res := runJobs(sc, len(windows), func(i int, _ uint64) (point, error) {
+		ssw := windows[i]
+		_, size, avgHit := runTrace(sc, "soplex", sc.Requests/8, ssw)
+		size.Label = fmt.Sprintf("SSW=2^%d", log2u(ssw))
+		return point{size, avgHit}, nil
+	})
 	var out []Series
 	avg := make(map[string]float64)
-	for _, ssw := range scaledWindows(sc) {
-		_, size, avgHit := runTrace(sc, "soplex", sc.Requests/8, ssw)
-		label := fmt.Sprintf("SSW=2^%d", log2u(ssw))
-		size.Label = label
-		out = append(out, size)
-		avg[label] = avgHit
+	for _, p := range res {
+		out = append(out, p.size)
+		avg[p.size.Label] = p.avgHit
 	}
 	return out, avg
 }
@@ -141,19 +154,42 @@ type Fig14Result struct {
 // RunFig14 reproduces Fig 14: for each of the three representative
 // benchmarks (bzip2, cactusADM, gcc), the SAWL hit-rate and region-size
 // trajectories plus the average hit rates of NWL-4, NWL-64 and SAWL.
+//
+// The three measurements per benchmark (NWL-4, NWL-64, SAWL) are
+// independent fixed-length runs, so all nine fan out as one job list.
 func RunFig14(sc Scale) []Fig14Result {
-	var out []Fig14Result
-	for _, bench := range []string{"bzip2", "cactusADM", "gcc"} {
-		r := Fig14Result{Bench: bench}
-		r.AvgNWL4 = runNWLHitRate(sc, bench, 4)
-		r.AvgNWL64 = runNWLHitRate(sc, bench, 64)
-		hit, size, avg := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
-		hit.Label = "SAWL " + bench
-		size.Label = "SAWL " + bench
-		r.HitRate = hit
-		r.RegionSize = size
-		r.AvgSAWL = avg
-		out = append(out, r)
+	benches := []string{"bzip2", "cactusADM", "gcc"}
+	// Per-bench job triplet: NWL-4 avg, NWL-64 avg, SAWL trace.
+	const perBench = 3
+	type measure struct {
+		avg       float64
+		hit, size Series
+	}
+	res := runJobs(sc, perBench*len(benches), func(i int, _ uint64) (measure, error) {
+		bench := benches[i/perBench]
+		switch i % perBench {
+		case 0:
+			return measure{avg: runNWLHitRate(sc, bench, 4)}, nil
+		case 1:
+			return measure{avg: runNWLHitRate(sc, bench, 64)}, nil
+		default:
+			hit, size, avg := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
+			hit.Label = "SAWL " + bench
+			size.Label = "SAWL " + bench
+			return measure{avg: avg, hit: hit, size: size}, nil
+		}
+	})
+	out := make([]Fig14Result, len(benches))
+	for bi, bench := range benches {
+		nwl4, nwl64, sawl := res[bi*perBench], res[bi*perBench+1], res[bi*perBench+2]
+		out[bi] = Fig14Result{
+			Bench:      bench,
+			AvgNWL4:    nwl4.avg,
+			AvgNWL64:   nwl64.avg,
+			AvgSAWL:    sawl.avg,
+			HitRate:    sawl.hit,
+			RegionSize: sawl.size,
+		}
 	}
 	return out
 }

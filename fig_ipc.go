@@ -38,21 +38,31 @@ func Fig17Labels(k SchemeKind) string {
 // RunFig17 reproduces Fig 17: per-benchmark IPC degradation (percent,
 // relative to the no-wear-leveling baseline) for BWL, NWL-4 and SAWL, with
 // the harmonic-mean summary appended as the final X point.
+//
+// All (1 + len(Fig17Schemes)) × 14 timing runs fan out as one flat job
+// list: the baseline runs occupy indices 0..13, scheme runs follow
+// scheme-major. Every run keeps sc.Seed so a scheme and its baseline
+// measure the identical request stream — the degradation comparison the
+// figure is about.
 func RunFig17(sc Scale) []Series {
 	names := workload.Names()
-	out := make([]Series, len(Fig17Schemes))
+	schemes := Fig17Schemes
+	results := runJobs(sc, (1+len(schemes))*len(names),
+		func(i int, _ uint64) (TimingResult, error) {
+			scheme, name := Baseline, names[i%len(names)]
+			if i >= len(names) {
+				scheme = schemes[i/len(names)-1]
+			}
+			return runTiming(sc, scheme, name), nil
+		})
+	baseline := results[:len(names)]
 
-	// Baseline IPC per benchmark.
-	baseline := make([]TimingResult, len(names))
-	for bi, name := range names {
-		baseline[bi] = runTiming(sc, Baseline, name)
-	}
-
-	for si, scheme := range Fig17Schemes {
+	out := make([]Series, len(schemes))
+	for si, scheme := range schemes {
 		out[si].Label = Fig17Labels(scheme)
+		rows := results[(1+si)*len(names) : (2+si)*len(names)]
 		var ipcs, baseIPCs []float64
-		for bi, name := range names {
-			res := runTiming(sc, scheme, name)
+		for bi, res := range rows {
 			deg := 100 * res.Degradation(baseline[bi])
 			if deg < 0 {
 				deg = 0

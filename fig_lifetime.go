@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nvmwear/internal/analysis"
+	"nvmwear/internal/exec"
 	"nvmwear/internal/lifetime"
 	"nvmwear/internal/metrics"
 	"nvmwear/internal/nvm"
@@ -16,6 +17,12 @@ import (
 
 // This file implements the lifetime experiments: Figs 3, 4, 5, 15 and 16.
 // Every runner returns Series of normalized lifetime (percent of ideal).
+//
+// Each figure is a sweep of independent lifetime measurements (one fresh
+// device + leveler per point), so the runners build a flat job list and
+// fan it out on the scale's worker pool (internal/exec). Points land in
+// their series in submission order, which keeps the emitted tables
+// byte-identical whatever Scale.Parallelism is.
 
 // bpaLifetime runs one BPA lifetime measurement on a fresh device. The
 // attacker writes each randomly selected address "precisely" (Sec 2.2):
@@ -49,31 +56,56 @@ func regionSweep(lines uint64) []uint64 {
 	return out
 }
 
+// sweepPoint ties one sweep job to its destination: series index and X
+// value. appendPoints replays the pool's ordered results into the series,
+// reproducing exactly what the serial nested loops appended.
+type sweepPoint struct {
+	series int
+	x      float64
+}
+
+func appendPoints(out []Series, pts []sweepPoint, ys []float64) {
+	for i, p := range pts {
+		out[p.series].Append(p.x, ys[i])
+	}
+}
+
 // RunFig3 reproduces Fig 3: normalized lifetime of TLSR under BPA as a
 // function of the number of regions, for inner swapping periods 8-64 and
 // two endurance levels (outer period fixed at 32, as in Sec 2.2).
 func RunFig3(sc Scale) []Series {
+	type job struct {
+		endurance uint32
+		period    uint64
+		regions   uint64
+	}
 	var out []Series
+	var jobs []job
+	var pts []sweepPoint
 	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
 		for _, period := range []uint64{8, 16, 32, 64} {
-			s := Series{Label: fmt.Sprintf("Wmax=%d ψ=%d", endurance, period)}
+			si := len(out)
+			out = append(out, Series{Label: fmt.Sprintf("Wmax=%d ψ=%d", endurance, period)})
 			for _, regions := range regionSweep(sc.AttackLines) {
-				regions := regions
-				repeats := period * (sc.AttackLines / regions) / 2
-				if repeats == 0 {
-					repeats = 1
-				}
-				norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-					return secref.New(dev, secref.Config{
-						Lines: sc.AttackLines, Regions: regions,
-						InnerPeriod: period, OuterPeriod: 32, Seed: sc.Seed,
-					})
-				}, sc.AttackLines, sc.attackSpares(), endurance, repeats, sc.Seed)
-				s.Append(float64(regions), norm)
+				jobs = append(jobs, job{endurance, period, regions})
+				pts = append(pts, sweepPoint{si, float64(regions)})
 			}
-			out = append(out, s)
 		}
 	}
+	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+		j := jobs[i]
+		repeats := j.period * (sc.AttackLines / j.regions) / 2
+		if repeats == 0 {
+			repeats = 1
+		}
+		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+			return secref.New(dev, secref.Config{
+				Lines: sc.AttackLines, Regions: j.regions,
+				InnerPeriod: j.period, OuterPeriod: 32, Seed: seed,
+			})
+		}, sc.AttackLines, sc.attackSpares(), j.endurance, repeats, seed), nil
+	})
+	appendPoints(out, pts, norms)
 	return out
 }
 
@@ -81,29 +113,42 @@ func RunFig3(sc Scale) []Series {
 // (PCM-S and MWSR) under BPA versus the number of regions, for swapping
 // periods 8-64 and two endurance levels.
 func RunFig4(sc Scale) []Series {
+	type job struct {
+		endurance uint32
+		scheme    SchemeKind
+		period    uint64
+		regions   uint64
+	}
 	var out []Series
+	var jobs []job
+	var pts []sweepPoint
 	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
 		for _, scheme := range []SchemeKind{PCMS, MWSR} {
 			for _, period := range []uint64{8, 16, 32, 64} {
-				s := Series{Label: fmt.Sprintf("%s Wmax=%d ψ=%d", scheme, endurance, period)}
+				si := len(out)
+				out = append(out, Series{Label: fmt.Sprintf("%s Wmax=%d ψ=%d", scheme, endurance, period)})
 				for _, regions := range regionSweep(sc.AttackLines) {
-					q := sc.AttackLines / regions
-					norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-						if scheme == PCMS {
-							return pcms.New(dev, pcms.Config{
-								Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
-							})
-						}
-						return mwsr.New(dev, mwsr.Config{
-							Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
-						})
-					}, sc.AttackLines, sc.attackSpares(), endurance, period*q, sc.Seed)
-					s.Append(float64(regions), norm)
+					jobs = append(jobs, job{endurance, scheme, period, regions})
+					pts = append(pts, sweepPoint{si, float64(regions)})
 				}
-				out = append(out, s)
 			}
 		}
 	}
+	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+		j := jobs[i]
+		q := sc.AttackLines / j.regions
+		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+			if j.scheme == PCMS {
+				return pcms.New(dev, pcms.Config{
+					Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
+				})
+			}
+			return mwsr.New(dev, mwsr.Config{
+				Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
+			})
+		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
+	})
+	appendPoints(out, pts, norms)
 	return out
 }
 
@@ -114,28 +159,40 @@ func RunFig4(sc Scale) []Series {
 // equal budget). Budgets are scaled: the paper sweeps 64 KB-4 MB on 64 GB.
 func RunFig5(sc Scale) []Series {
 	budgets := []uint64{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+	type job struct {
+		endurance uint32
+		scheme    SchemeKind
+		budget    uint64
+	}
 	var out []Series
+	var jobs []job
+	var pts []sweepPoint
 	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
 		for _, scheme := range []SchemeKind{PCMS, MWSR} {
-			s := Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)}
+			si := len(out)
+			out = append(out, Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)})
 			for _, budget := range budgets {
-				regions := regionsForBudget(scheme, budget, sc.AttackLines)
-				q := sc.AttackLines / regions
-				norm := bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-					if scheme == PCMS {
-						return pcms.New(dev, pcms.Config{
-							Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: sc.Seed,
-						})
-					}
-					return mwsr.New(dev, mwsr.Config{
-						Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: sc.Seed,
-					})
-				}, sc.AttackLines, sc.attackSpares(), endurance, 32*q, sc.Seed)
-				s.Append(float64(budget)/1024, norm) // x in KB
+				jobs = append(jobs, job{endurance, scheme, budget})
+				pts = append(pts, sweepPoint{si, float64(budget) / 1024}) // x in KB
 			}
-			out = append(out, s)
 		}
 	}
+	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+		j := jobs[i]
+		regions := regionsForBudget(j.scheme, j.budget, sc.AttackLines)
+		q := sc.AttackLines / regions
+		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+			if j.scheme == PCMS {
+				return pcms.New(dev, pcms.Config{
+					Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: seed,
+				})
+			}
+			return mwsr.New(dev, mwsr.Config{
+				Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: seed,
+			})
+		}, sc.AttackLines, sc.attackSpares(), j.endurance, 32*q, seed), nil
+	})
+	appendPoints(out, pts, norms)
 	return out
 }
 
@@ -166,51 +223,61 @@ func regionsForBudget(scheme SchemeKind, budget uint64, lines uint64) uint64 {
 // such bound, which is why it wins by the paper's 25-51% (50-78% at low
 // endurance).
 func RunFig15(sc Scale) []Series {
+	type job struct {
+		endurance uint32
+		scheme    SchemeKind
+		period    uint64
+	}
 	var out []Series
+	var jobs []job
+	var pts []sweepPoint
 	for _, endurance := range []uint32{sc.AttackEndurance, sc.lowAttackEndurance()} {
 		for _, scheme := range []SchemeKind{PCMS, MWSR, SAWL} {
-			s := Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)}
+			si := len(out)
+			out = append(out, Series{Label: fmt.Sprintf("%s Wmax=%d", scheme, endurance)})
 			for _, period := range []uint64{8, 16, 32, 64} {
-				var norm float64
-				if scheme == SAWL {
-					sys, err := NewSystem(SystemConfig{
-						Scheme: SAWL, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
-						Endurance: endurance, Period: period,
-						CMTEntries: sc.CMTEntries, Seed: sc.Seed,
-					})
-					if err != nil {
-						panic(err)
-					}
-					res, err := sys.RunLifetime(WorkloadSpec{
-						Kind: WorkloadBPA, Seed: sc.Seed, Repeats: period * 4,
-					}, 0)
-					if err != nil {
-						panic(err)
-					}
-					norm = 100 * res.Normalized
-				} else {
-					// On-chip bound, scaled: PCM-S affords 16-line regions,
-					// MWSR (double-size entries) 32-line regions.
-					q := uint64(16)
-					if scheme == MWSR {
-						q = 32
-					}
-					norm = bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-						if scheme == PCMS {
-							return pcms.New(dev, pcms.Config{
-								Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
-							})
-						}
-						return mwsr.New(dev, mwsr.Config{
-							Lines: sc.AttackLines, RegionLines: q, Period: period, Seed: sc.Seed,
-						})
-					}, sc.AttackLines, sc.attackSpares(), endurance, period*q, sc.Seed)
-				}
-				s.Append(float64(period), norm)
+				jobs = append(jobs, job{endurance, scheme, period})
+				pts = append(pts, sweepPoint{si, float64(period)})
 			}
-			out = append(out, s)
 		}
 	}
+	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+		j := jobs[i]
+		if j.scheme == SAWL {
+			sys, err := NewSystem(SystemConfig{
+				Scheme: SAWL, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+				Endurance: j.endurance, Period: j.period,
+				CMTEntries: sc.CMTEntries, Seed: seed,
+			})
+			if err != nil {
+				return 0, err
+			}
+			res, err := sys.RunLifetime(WorkloadSpec{
+				Kind: WorkloadBPA, Seed: seed, Repeats: j.period * 4,
+			}, 0)
+			if err != nil {
+				return 0, err
+			}
+			return 100 * res.Normalized, nil
+		}
+		// On-chip bound, scaled: PCM-S affords 16-line regions,
+		// MWSR (double-size entries) 32-line regions.
+		q := uint64(16)
+		if j.scheme == MWSR {
+			q = 32
+		}
+		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
+			if j.scheme == PCMS {
+				return pcms.New(dev, pcms.Config{
+					Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
+				})
+			}
+			return mwsr.New(dev, mwsr.Config{
+				Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
+			})
+		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
+	})
+	appendPoints(out, pts, norms)
 	return out
 }
 
@@ -240,33 +307,37 @@ func RunFig16(sc Scale, coarse bool) []Series {
 	out := make([]Series, len(schemes))
 	endurance := sc.SpecEndurance
 
-	for si, scheme := range schemes {
-		out[si].Label = string(scheme)
-		var values []float64
-		for bi, name := range names {
-			cfg := SystemConfig{
-				Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
-				Endurance: endurance, Period: sc.SpecPeriod, Seed: sc.Seed,
-				Regions: regions, InitGran: gran, CMTEntries: sc.CMTEntries,
-			}
-			if scheme == SAWL {
-				// Sec 4.1: SAWL's initial wear-leveling granularity is a few
-				// memory lines regardless of the RBSG/TLSR region config;
-				// the region sweep only affects the algebraic schemes.
-				cfg.InitGran = 8
-			}
-			sys, err := NewSystem(cfg)
-			if err != nil {
-				panic(err)
-			}
-			res, err := sys.RunLifetime(WorkloadSpec{
-				Kind: WorkloadSPEC, Name: name, Seed: sc.Seed,
-			}, 0)
-			if err != nil {
-				panic(err)
-			}
-			v := 100 * res.Normalized
-			values = append(values, v)
+	// One job per (scheme, benchmark) lifetime run, scheme-major so the
+	// results slice regroups directly into series.
+	norms := runJobs(sc, len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
+		scheme, name := schemes[i/len(names)], names[i%len(names)]
+		cfg := SystemConfig{
+			Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
+			Endurance: endurance, Period: sc.SpecPeriod, Seed: seed,
+			Regions: regions, InitGran: gran, CMTEntries: sc.CMTEntries,
+		}
+		if scheme == SAWL {
+			// Sec 4.1: SAWL's initial wear-leveling granularity is a few
+			// memory lines regardless of the RBSG/TLSR region config;
+			// the region sweep only affects the algebraic schemes.
+			cfg.InitGran = 8
+		}
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return 0, err
+		}
+		res, err := sys.RunLifetime(WorkloadSpec{
+			Kind: WorkloadSPEC, Name: name, Seed: seed,
+		}, 0)
+		if err != nil {
+			return 0, err
+		}
+		return 100 * res.Normalized, nil
+	})
+	for si := range schemes {
+		out[si].Label = string(schemes[si])
+		values := norms[si*len(names) : (si+1)*len(names)]
+		for bi, v := range values {
 			out[si].Append(float64(bi), v)
 		}
 		out[si].Append(float64(len(names)), 100*hmeanPct(values))
@@ -284,12 +355,18 @@ func hmeanPct(vals []float64) float64 {
 // trigger-aware BPA at the attack scale, returning the Sec 2.2-style
 // resilience verdict.
 func RunAttackScore(sc Scale, kind SchemeKind) (analysis.AttackScore, error) {
+	return attackScore(sc, kind, sc.Seed)
+}
+
+// attackScore is RunAttackScore with an explicit seed, so parallel sweeps
+// can pass their per-job derived seed.
+func attackScore(sc Scale, kind SchemeKind, seed uint64) (analysis.AttackScore, error) {
 	run := func(w WorkloadSpec) (float64, error) {
 		sys, err := NewSystem(SystemConfig{
 			Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 			Endurance: sc.AttackEndurance, Period: 8,
 			RegionLines: 64, Regions: 16, InitGran: 4,
-			CMTEntries: sc.CMTEntries, Seed: sc.Seed,
+			CMTEntries: sc.CMTEntries, Seed: seed,
 		})
 		if err != nil {
 			return 0, err
@@ -308,11 +385,19 @@ func RunAttackScore(sc Scale, kind SchemeKind) (analysis.AttackScore, error) {
 	if kind == SAWL || kind == NWL {
 		repeats = 8 * 4
 	}
-	bpa, err := run(WorkloadSpec{Kind: WorkloadBPA, Seed: sc.Seed, Repeats: repeats})
+	bpa, err := run(WorkloadSpec{Kind: WorkloadBPA, Seed: seed, Repeats: repeats})
 	if err != nil {
 		return analysis.AttackScore{}, err
 	}
 	return analysis.AttackScore{RAANormalized: raa, BPANormalized: bpa}, nil
+}
+
+// RunAttackScores fans RunAttackScore out over the given schemes on the
+// scale's worker pool, returning one score per scheme in input order.
+func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, error) {
+	return exec.Map(sc.pool(), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
+		return attackScore(sc, kinds[i], seed)
+	})
 }
 
 // RunSweep measures BPA lifetime for one scheme across region sizes and
@@ -320,26 +405,34 @@ func RunAttackScore(sc Scale, kind SchemeKind) (analysis.AttackScore, error) {
 // `sweep` experiment. Each series is one period; X is the region size in
 // lines.
 func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Series, error) {
-	out := make([]Series, 0, len(periods))
-	for _, period := range periods {
-		s := Series{Label: fmt.Sprintf("%s ψ=%d", kind, period)}
-		for _, q := range regionLines {
+	norms, err := exec.Map(sc.pool(), len(periods)*len(regionLines),
+		func(i int, seed uint64) (float64, error) {
+			period, q := periods[i/len(regionLines)], regionLines[i%len(regionLines)]
 			sys, err := NewSystem(SystemConfig{
 				Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 				Endurance: sc.AttackEndurance, Period: period,
 				RegionLines: q, Regions: sc.AttackLines / q, InitGran: min64(q, 64),
-				CMTEntries: sc.CMTEntries, Seed: sc.Seed,
+				CMTEntries: sc.CMTEntries, Seed: seed,
 			})
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
 			res, err := sys.RunLifetime(WorkloadSpec{
-				Kind: WorkloadBPA, Seed: sc.Seed, Repeats: period * q,
+				Kind: WorkloadBPA, Seed: seed, Repeats: period * q,
 			}, 0)
 			if err != nil {
-				return nil, err
+				return 0, err
 			}
-			s.Append(float64(q), 100*res.Normalized)
+			return 100 * res.Normalized, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Series, 0, len(periods))
+	for pi, period := range periods {
+		s := Series{Label: fmt.Sprintf("%s ψ=%d", kind, period)}
+		for qi, q := range regionLines {
+			s.Append(float64(q), norms[pi*len(regionLines)+qi])
 		}
 		out = append(out, s)
 	}

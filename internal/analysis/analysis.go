@@ -8,8 +8,9 @@ package analysis
 import (
 	"fmt"
 	"math"
-	"sort"
 	"time"
+
+	"nvmwear/internal/metrics"
 )
 
 // Projection converts a normalized lifetime into wall-clock time for a
@@ -77,7 +78,7 @@ func Wear(counts []uint32) WearReport {
 	}
 	sorted := make([]uint32, len(counts))
 	copy(sorted, counts)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	metrics.SortUint32(sorted)
 
 	var sum, sumSq, cum float64
 	zero := 0

@@ -1,0 +1,149 @@
+// Package exec is the parallel experiment engine: a bounded worker pool
+// that fans a flat list of independent simulation jobs out across cores
+// and returns their results in submission order.
+//
+// Every data-bearing figure of the paper is a sweep of independent
+// lifetime or timing runs (each drives its own nvm.Device and wl.Leveler),
+// so the sweeps are embarrassingly parallel. Two rules keep parallel runs
+// exactly reproducible:
+//
+//  1. Results are delivered in submission order, so figure tables are
+//     byte-identical whatever the worker count or scheduling.
+//  2. Each job receives a seed derived deterministically from
+//     (BaseSeed, job index) via rng.SeedStream, so a job's random streams
+//     do not depend on which worker runs it or when.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nvmwear/internal/rng"
+)
+
+// Pool describes how a sweep executes. The zero value is usable: every
+// available core, base seed 0, no progress reporting.
+type Pool struct {
+	// Workers bounds the number of concurrently running jobs.
+	// Values <= 0 select runtime.GOMAXPROCS(0).
+	Workers int
+
+	// BaseSeed is the sweep's base seed; job i runs with
+	// rng.SeedStream(BaseSeed, i).
+	BaseSeed uint64
+
+	// OnDone, when non-nil, is called after each job finishes with the
+	// number of completed jobs so far, the sweep size, and the job's wall
+	// time. Calls are serialized; the callback must not block for long.
+	OnDone func(done, total int, elapsed time.Duration)
+}
+
+// workers resolves the effective worker count for n jobs.
+func (p *Pool) workers(n int) int {
+	w := p.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// PanicError carries a panic raised inside a job to the goroutine that
+// called Map, preserving the job index and the worker's stack trace.
+type PanicError struct {
+	Index int
+	Value any
+	Stack []byte
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("exec: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
+}
+
+// Map runs jobs 0..n-1 through fn on the pool and returns the n results in
+// index order. fn receives the job index and the job's derived seed.
+//
+// If a job returns an error, remaining unstarted jobs are skipped and the
+// error with the lowest job index is returned (deterministic regardless of
+// scheduling). If a job panics, Map re-panics on the calling goroutine
+// with a *PanicError wrapping the original value and the worker's stack.
+func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	results := make([]T, n)
+	var (
+		next     atomic.Int64 // index dispenser
+		stop     atomic.Bool  // set on first error/panic: skip unstarted jobs
+		mu       sync.Mutex   // guards done/firstErr/errIndex/pan and OnDone calls
+		done     int
+		firstErr error
+		errIndex int = n
+		pan      *PanicError
+		wg       sync.WaitGroup
+	)
+	next.Store(-1)
+	run := func(i int) (err error) {
+		defer func() {
+			if v := recover(); v != nil {
+				pe := &PanicError{Index: i, Value: v, Stack: stack()}
+				mu.Lock()
+				if pan == nil || i < pan.Index {
+					pan = pe
+				}
+				mu.Unlock()
+				stop.Store(true)
+			}
+		}()
+		start := time.Now()
+		results[i], err = fn(i, rng.SeedStream(p.BaseSeed, uint64(i)))
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		done++
+		if p.OnDone != nil {
+			p.OnDone(done, n, time.Since(start))
+		}
+		mu.Unlock()
+		return nil
+	}
+	for w := p.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1))
+				if i >= n || stop.Load() {
+					return
+				}
+				if err := run(i); err != nil {
+					mu.Lock()
+					if i < errIndex {
+						errIndex, firstErr = i, err
+					}
+					mu.Unlock()
+					stop.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if pan != nil {
+		panic(pan)
+	}
+	return results, firstErr
+}
+
+// stack returns the current goroutine's stack trace.
+func stack() []byte {
+	buf := make([]byte, 16<<10)
+	return buf[:runtime.Stack(buf, false)]
+}

@@ -1,0 +1,113 @@
+package metrics
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"nvmwear/internal/rng"
+)
+
+// giniSortSlice is the pre-optimization reference implementation (copy +
+// sort.Slice with a comparison closure). It is kept here so the test suite
+// proves the radix-sorted GiniUint32 is numerically identical and the
+// benchmark records the win.
+func giniSortSlice(xs []uint32) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := make([]uint32, len(xs))
+	copy(sorted, xs)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	var cum, total float64
+	n := float64(len(sorted))
+	for i, x := range sorted {
+		total += float64(x)
+		cum += float64(x) * (n - float64(i))
+	}
+	if total == 0 {
+		return 0
+	}
+	return (n + 1 - 2*cum/total) / n
+}
+
+// wearSample builds a realistic wear array: mostly moderate counts with a
+// hot tail, like a device after a BPA run.
+func wearSample(n int, seed uint64) []uint32 {
+	r := rng.New(seed)
+	xs := make([]uint32, n)
+	for i := range xs {
+		x := uint32(r.Uint64n(2500))
+		if r.Bool(0.01) {
+			x += uint32(r.Uint64n(1 << 20)) // hot lines, >16-bit counts
+		}
+		xs[i] = x
+	}
+	return xs
+}
+
+func TestSortUint32MatchesSortSlice(t *testing.T) {
+	r := rng.New(99)
+	for _, n := range []int{0, 1, 2, 3, 63, 64, 65, 1000, 1 << 14} {
+		xs := make([]uint32, n)
+		for i := range xs {
+			switch r.Intn(3) {
+			case 0:
+				xs[i] = uint32(r.Uint64()) // full 32-bit range
+			case 1:
+				xs[i] = uint32(r.Uint64n(256)) // low byte only
+			default:
+				xs[i] = 7 // constant runs
+			}
+		}
+		want := make([]uint32, n)
+		copy(want, xs)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		SortUint32(xs)
+		for i := range xs {
+			if xs[i] != want[i] {
+				t.Fatalf("n=%d: sortUint32[%d] = %d, want %d", n, i, xs[i], want[i])
+			}
+		}
+	}
+}
+
+func TestGiniMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 5, 63, 64, 1000, 1 << 14} {
+		xs := wearSample(n, uint64(n))
+		got, want := GiniUint32(xs), giniSortSlice(xs)
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("n=%d: GiniUint32 = %v, reference = %v", n, got, want)
+		}
+	}
+}
+
+func TestGiniDoesNotMutateInput(t *testing.T) {
+	xs := wearSample(1024, 5)
+	orig := make([]uint32, len(xs))
+	copy(orig, xs)
+	GiniUint32(xs)
+	for i := range xs {
+		if xs[i] != orig[i] {
+			t.Fatalf("GiniUint32 mutated input at %d", i)
+		}
+	}
+}
+
+// BenchmarkGiniRadix vs BenchmarkGiniSortSlice is the micro-benchmark for
+// the sweep hot path: Gini over a device-sized (2^17 lines) wear array.
+func BenchmarkGiniRadix(b *testing.B) {
+	xs := wearSample(1<<17, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		GiniUint32(xs)
+	}
+}
+
+func BenchmarkGiniSortSlice(b *testing.B) {
+	xs := wearSample(1<<17, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		giniSortSlice(xs)
+	}
+}

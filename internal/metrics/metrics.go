@@ -8,7 +8,6 @@ package metrics
 import (
 	"fmt"
 	"math"
-	"sort"
 )
 
 // Summary holds order statistics of a sample.
@@ -75,14 +74,19 @@ func HarmonicMean(xs []float64) float64 {
 // GiniUint32 computes the Gini coefficient of a non-negative integer sample
 // (per-line write counts). 0 means perfectly uniform wear; values near 1
 // mean writes concentrated on few lines. Returns 0 for empty or all-zero
-// samples.
+// samples. The input is not modified.
+//
+// This runs on every lifetime result over the device's full wear array, so
+// it is a sweep hot path: sorting uses a byte-wise LSD radix sort instead
+// of a comparison sort (no per-comparison closure calls, O(n) passes), and
+// skips passes whose key byte is constant across the sample.
 func GiniUint32(xs []uint32) float64 {
 	if len(xs) == 0 {
 		return 0
 	}
 	sorted := make([]uint32, len(xs))
 	copy(sorted, xs)
-	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	SortUint32(sorted)
 	var cum, total float64
 	n := float64(len(sorted))
 	for i, x := range sorted {
@@ -93,6 +97,52 @@ func GiniUint32(xs []uint32) float64 {
 		return 0
 	}
 	return (n + 1 - 2*cum/total) / n
+}
+
+// SortUint32 sorts a in place, ascending. Small slices fall back to
+// insertion sort; larger ones use a 4-pass byte-wise LSD radix sort with
+// constant-byte pass skipping (wear counts rarely exceed 24 bits, so the
+// high passes are usually free). Shared by every wear-distribution
+// computation (Gini here, order statistics in internal/analysis).
+func SortUint32(a []uint32) {
+	if len(a) < 64 {
+		for i := 1; i < len(a); i++ {
+			x := a[i]
+			j := i - 1
+			for j >= 0 && a[j] > x {
+				a[j+1] = a[j]
+				j--
+			}
+			a[j+1] = x
+		}
+		return
+	}
+	buf := make([]uint32, len(a))
+	src, dst := a, buf
+	for shift := uint(0); shift < 32; shift += 8 {
+		var count [256]int
+		for _, x := range src {
+			count[(x>>shift)&0xff]++
+		}
+		if count[src[0]>>shift&0xff] == len(src) {
+			continue // all keys share this byte: pass is a no-op
+		}
+		pos := 0
+		for b := range count {
+			c := count[b]
+			count[b] = pos
+			pos += c
+		}
+		for _, x := range src {
+			b := (x >> shift) & 0xff
+			dst[count[b]] = x
+			count[b]++
+		}
+		src, dst = dst, src
+	}
+	if &src[0] != &a[0] {
+		copy(a, src)
+	}
 }
 
 // CoV returns the coefficient of variation (stddev/mean) of per-line write

@@ -243,8 +243,19 @@ func (d *Device) Stats() Stats {
 }
 
 // WearCounts exposes the per-line wear counters (shared slice; callers must
-// not modify it). Used by metrics (Gini) and the wear visualizer.
+// not modify it). Used by metrics (Gini) and the wear visualizer. Results
+// that outlive the caller's exclusive ownership of the device — anything
+// returned from a parallel experiment job — must use WearCountsCopy
+// instead, so no analysis aliases a slice another goroutine could mutate.
 func (d *Device) WearCounts() []uint32 { return d.writes }
+
+// WearCountsCopy returns a snapshot of the per-line wear counters. The
+// returned slice is owned by the caller.
+func (d *Device) WearCountsCopy() []uint32 {
+	out := make([]uint32, len(d.writes))
+	copy(out, d.writes)
+	return out
+}
 
 // IdealWrites returns the total number of writes the device would absorb
 // under perfectly uniform wear: every line (including spares) worn exactly

@@ -227,3 +227,23 @@ func TestEnergyDefaults(t *testing.T) {
 		t.Fatalf("energy defaults: %+v", d.Config())
 	}
 }
+
+func TestWearCountsCopyIsSnapshot(t *testing.T) {
+	d := New(Config{Lines: 8, SpareLines: 1, Endurance: 100})
+	d.Write(3)
+	snap := d.WearCountsCopy()
+	if snap[3] != 1 {
+		t.Fatalf("snapshot wear = %d, want 1", snap[3])
+	}
+	d.Write(3)
+	if snap[3] != 1 {
+		t.Fatal("snapshot aliases the live wear array")
+	}
+	if d.WearCounts()[3] != 2 {
+		t.Fatalf("live wear = %d, want 2", d.WearCounts()[3])
+	}
+	snap[0] = 99
+	if d.WearCounts()[0] != 0 {
+		t.Fatal("mutating the snapshot reached the device")
+	}
+}

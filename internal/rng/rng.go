@@ -120,3 +120,15 @@ func (r *Source) Perm(n int) []int {
 func (r *Source) Fork() *Source {
 	return New(r.Uint64() ^ 0xd1342543de82ef95)
 }
+
+// SeedStream derives the seed of substream `stream` from a base seed by
+// two SplitMix64 steps. The derivation depends only on (base, stream), so a
+// sweep job indexed i always sees the same seed no matter how many workers
+// execute the sweep or in what order — the reproducibility rule the
+// experiment engine (internal/exec) is built on.
+func SeedStream(base, stream uint64) uint64 {
+	x := base
+	h := splitMix64(&x)
+	x = h ^ (stream * 0xd1342543de82ef95)
+	return splitMix64(&x)
+}

@@ -221,3 +221,21 @@ func BenchmarkZipfNext(b *testing.B) {
 		_ = z.Next()
 	}
 }
+
+func TestSeedStreamDeterministicAndDistinct(t *testing.T) {
+	seen := make(map[uint64]bool)
+	for stream := uint64(0); stream < 1024; stream++ {
+		s := SeedStream(42, stream)
+		if s != SeedStream(42, stream) {
+			t.Fatalf("stream %d: SeedStream not deterministic", stream)
+		}
+		if seen[s] {
+			t.Fatalf("stream %d: seed %#x collides with an earlier stream", stream, s)
+		}
+		seen[s] = true
+	}
+	// Different bases must yield different substreams.
+	if SeedStream(1, 0) == SeedStream(2, 0) {
+		t.Fatal("bases 1 and 2 share substream 0")
+	}
+}

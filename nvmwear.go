@@ -420,6 +420,11 @@ func SpecBenchmarks() []string { return workload.Names() }
 // treat as read-only). Used by cmd/wearviz and analysis tooling.
 func (s *System) WearCounts() []uint32 { return s.dev.WearCounts() }
 
+// WearCountsCopy returns a caller-owned snapshot of the per-line wear
+// counters — the safe accessor when the result must outlive this
+// goroutine's exclusive ownership of the system (parallel sweep jobs).
+func (s *System) WearCountsCopy() []uint32 { return s.dev.WearCountsCopy() }
+
 // coreScheme returns the underlying tiered engine when the scheme is NWL
 // or SAWL, or nil otherwise. Used by ablation benches and tests that need
 // to drive structural operations directly.

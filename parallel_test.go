@@ -1,0 +1,102 @@
+package nvmwear
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// This file holds the parallel-engine guarantees at the figure level: for
+// a fixed Scale.Seed, every figure table must be byte-identical whatever
+// Parallelism is — the property that makes -j N safe to default on.
+
+// renderFig renders a figure's series as the table wlsim would print, the
+// byte-exact artifact the determinism guarantee is stated over.
+func renderFig(series []Series) string {
+	return SeriesTable("determinism probe", "x", series, "%.6f").Render()
+}
+
+// withParallelism returns the test scale at the given worker count.
+func withParallelism(sc Scale, j int) Scale {
+	sc.Parallelism = j
+	return sc
+}
+
+func TestFig3DeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := tinyScale()
+	serial := renderFig(RunFig3(withParallelism(sc, 1)))
+	parallel := renderFig(RunFig3(withParallelism(sc, 8)))
+	if serial != parallel {
+		t.Fatalf("fig3 table differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestFig15DeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := tinyScale()
+	serial := renderFig(RunFig15(withParallelism(sc, 1)))
+	parallel := renderFig(RunFig15(withParallelism(sc, 8)))
+	if serial != parallel {
+		t.Fatalf("fig15 table differs between -j1 and -j8:\n--- j1 ---\n%s\n--- j8 ---\n%s",
+			serial, parallel)
+	}
+}
+
+func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
+	sc := tinyScale()
+	run := func(j int) string {
+		series, err := RunSweep(withParallelism(sc, j), PCMS,
+			[]uint64{4, 16}, []uint64{8, 32})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderFig(series)
+	}
+	if a, b := run(1), run(6); a != b {
+		t.Fatalf("sweep table differs between -j1 and -j6:\n%s\nvs\n%s", a, b)
+	}
+}
+
+func TestAttackScoresMatchSerialAPI(t *testing.T) {
+	sc := tinyScale()
+	kinds := []SchemeKind{Baseline, PCMS, SAWL}
+	batchJ1, err := RunAttackScores(withParallelism(sc, 1), kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batchJ4, err := RunAttackScores(withParallelism(sc, 4), kinds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range kinds {
+		if batchJ1[i] != batchJ4[i] {
+			t.Fatalf("%s: score differs between -j1 (%+v) and -j4 (%+v)",
+				kinds[i], batchJ1[i], batchJ4[i])
+		}
+	}
+}
+
+func TestSeedChangesFigureOutput(t *testing.T) {
+	// The flip side of determinism: a different base seed must actually
+	// reach the jobs (guards against the pool ignoring BaseSeed).
+	a := tinyScale()
+	b := tinyScale()
+	b.Seed = a.Seed + 1
+	if renderFig(RunFig3(a)) == renderFig(RunFig3(b)) {
+		t.Fatal("fig3 table identical under different seeds")
+	}
+}
+
+func TestProgressReportsEveryJob(t *testing.T) {
+	sc := tinyScale()
+	sc.Parallelism = 4
+	var calls, lastTotal atomic.Int64
+	sc.Progress = func(done, total int) {
+		calls.Add(1)
+		lastTotal.Store(int64(total))
+	}
+	RunFig15(sc)
+	// Fig 15: 2 endurances x 3 schemes x 4 periods = 24 jobs.
+	if calls.Load() != 24 || lastTotal.Load() != 24 {
+		t.Fatalf("progress: %d calls, total %d, want 24/24", calls.Load(), lastTotal.Load())
+	}
+}
