@@ -68,7 +68,7 @@ func BenchmarkTable1_Config(b *testing.B) {
 func BenchmarkFig3_TLSRLifetime(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig3(sc)
+		series := must(RunFig3(sc))
 		if i == b.N-1 {
 			reportSeries(b, series, "pctLife")
 		}
@@ -95,7 +95,7 @@ func BenchmarkParallelFig3(b *testing.B) {
 			var jobs int
 			sc.Progress = func(done, total int) { jobs = total }
 			for i := 0; i < b.N; i++ {
-				if series := RunFig3(sc); len(series) == 0 {
+				if series := must(RunFig3(sc)); len(series) == 0 {
 					b.Fatal("empty fig3")
 				}
 			}
@@ -109,7 +109,7 @@ func BenchmarkParallelFig3(b *testing.B) {
 func BenchmarkFig4_HybridLifetime(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig4(sc)
+		series := must(RunFig4(sc))
 		if i == b.N-1 {
 			reportSeries(b, series, "pctLife")
 		}
@@ -121,7 +121,7 @@ func BenchmarkFig4_HybridLifetime(b *testing.B) {
 func BenchmarkFig5_CacheBudget(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig5(sc)
+		series := must(RunFig5(sc))
 		if i == b.N-1 {
 			reportSeries(b, series, "pctLife")
 		}
@@ -134,7 +134,7 @@ func BenchmarkFig5_CacheBudget(b *testing.B) {
 func BenchmarkFig12_ObservationWindow(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig12(sc)
+		series := must(RunFig12(sc))
 		if i == b.N-1 {
 			for _, s := range series {
 				// Sample-to-sample fluctuation: the paper's Fig 12 point is
@@ -163,7 +163,10 @@ func BenchmarkFig12_ObservationWindow(b *testing.B) {
 func BenchmarkFig13_SettlingWindow(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		_, avg := RunFig13(sc)
+		_, avg, err := RunFig13(sc)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if i == b.N-1 {
 			for label, v := range avg {
 				b.ReportMetric(v, sanitize(label)+"_avgHitPct")
@@ -177,7 +180,7 @@ func BenchmarkFig13_SettlingWindow(b *testing.B) {
 func BenchmarkFig14_HitRates(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		res := RunFig14(sc)
+		res := must(RunFig14(sc))
 		if i == b.N-1 {
 			for _, r := range res {
 				b.ReportMetric(r.AvgNWL4, r.Bench+"_NWL4_hitPct")
@@ -193,7 +196,7 @@ func BenchmarkFig14_HitRates(b *testing.B) {
 func BenchmarkFig15_BPALifetime(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig15(sc)
+		series := must(RunFig15(sc))
 		if i == b.N-1 {
 			reportSeries(b, series, "pctLife")
 		}
@@ -208,7 +211,7 @@ func BenchmarkFig16_SpecLifetime(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
 		for _, coarse := range []bool{true, false} {
-			series := RunFig16(sc, coarse)
+			series := must(RunFig16(sc, coarse))
 			if i == b.N-1 {
 				suffix := "_fine_HmeanPct"
 				if coarse {
@@ -228,7 +231,7 @@ func BenchmarkFig16_SpecLifetime(b *testing.B) {
 func BenchmarkFig17_IPC(b *testing.B) {
 	sc := benchScale()
 	for i := 0; i < b.N; i++ {
-		series := RunFig17(sc)
+		series := must(RunFig17(sc))
 		if i == b.N-1 {
 			for _, s := range series {
 				b.ReportMetric(s.Y[len(s.Y)-1], sanitize(s.Label)+"_degrPct")
@@ -287,9 +290,9 @@ func BenchmarkAblation_NoAdapt(b *testing.B) {
 	sc := benchScale()
 	var hit4, hit64, hitSAWL float64
 	for i := 0; i < b.N; i++ {
-		hit4 = runNWLHitRate(sc, "gcc", 4)
-		hit64 = runNWLHitRate(sc, "gcc", 64)
-		_, _, hitSAWL = runTrace(sc, "gcc", sc.Requests/128, sc.Requests/128)
+		hit4 = must(runNWLHitRate(sc, "gcc", 4))
+		hit64 = must(runNWLHitRate(sc, "gcc", 64))
+		_, _, hitSAWL, _ = runTrace(sc, "gcc", sc.Requests/128, sc.Requests/128)
 	}
 	b.ReportMetric(hit4, "NWL4_hitPct")
 	b.ReportMetric(hit64, "NWL64_hitPct")

@@ -6,12 +6,15 @@
 //	wlsim [-scale small|medium|large] [-seed N] [-j N] <experiment>
 //
 // where <experiment> is one of: table1, fig3, fig4, fig5, fig12, fig13,
-// fig14, fig15, fig16, fig17, overhead, all.
+// fig14, fig15, fig16, fig17, overhead, fault, all.
 //
 // Sweeps fan out across -j worker goroutines (default: all cores). Output
 // tables are byte-identical for every -j value: jobs are independent
 // simulations, collected in submission order, each seeded from
 // (seed, job index).
+//
+// SIGINT/SIGTERM cancel the running sweep: completed points are flushed as
+// a partial table and the process exits with status 130.
 //
 // Each experiment prints the same rows/series the paper reports, on a
 // scaled-down device (see EXPERIMENTS.md for the scaling rules and the
@@ -19,10 +22,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
+	"strconv"
+	"syscall"
 	"time"
 
 	"nvmwear"
@@ -54,6 +62,13 @@ func main() {
 	sc.Seed = *seed
 	sc.Parallelism = *workers
 
+	// SIGINT/SIGTERM cancel the sweep through the scale's context; the
+	// completed prefix of the running figure is flushed as a partial table
+	// before exiting nonzero.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	sc.Context = ctx
+
 	var currentFig string
 	var jobsDone, jobsTotal int
 	if !*quiet {
@@ -68,6 +83,29 @@ func main() {
 		}
 	} else {
 		sc.Progress = func(done, total int) { jobsDone, jobsTotal = done, total }
+	}
+	// WLSIM_JOB_DELAY_MS inserts a pause after every completed sweep job —
+	// a test hook that widens the window for signal-delivery integration
+	// tests without slowing real runs.
+	if ms, _ := strconv.Atoi(os.Getenv("WLSIM_JOB_DELAY_MS")); ms > 0 {
+		inner := sc.Progress
+		sc.Progress = func(done, total int) {
+			time.Sleep(time.Duration(ms) * time.Millisecond)
+			inner(done, total)
+		}
+	}
+	// fail finishes an experiment that returned an error, after its partial
+	// results (if any) were emitted: interruption exits 130, anything else 1.
+	fail := func(err error) {
+		if err == nil {
+			return
+		}
+		fmt.Fprintf(os.Stderr, "\n%v\n", err)
+		if errors.Is(err, nvmwear.ErrInterrupted) {
+			fmt.Fprintln(os.Stderr, "partial results flushed")
+			os.Exit(130)
+		}
+		os.Exit(1)
 	}
 	emit := func(title, xName string, series []nvmwear.Series) {
 		if err := nvmwear.FormatSeries(os.Stdout, *format, title, xName, series); err != nil {
@@ -100,45 +138,67 @@ func main() {
 		case "table1":
 			fmt.Print(nvmwear.RunTable1().Render())
 		case "fig3":
+			series, err := nvmwear.RunFig3(sc)
 			emit("Fig 3: TLSR normalized lifetime (%) vs number of regions, BPA",
-				"regions", nvmwear.RunFig3(sc))
+				"regions", series)
+			fail(err)
 		case "fig4":
+			series, err := nvmwear.RunFig4(sc)
 			emit("Fig 4: PCM-S/MWSR normalized lifetime (%) vs number of regions, BPA",
-				"regions", nvmwear.RunFig4(sc))
+				"regions", series)
+			fail(err)
 		case "fig5":
+			series, err := nvmwear.RunFig5(sc)
 			emit("Fig 5: hybrid lifetime (%) vs on-chip cache budget (KB), BPA",
-				"budgetKB", nvmwear.RunFig5(sc))
+				"budgetKB", series)
+			fail(err)
 		case "fig12":
+			series, err := nvmwear.RunFig12(sc)
 			emit("Fig 12: CMT hit rate (%) vs runtime for observation-window sizes (soplex)",
-				"requests", nvmwear.RunFig12(sc))
+				"requests", series)
+			fail(err)
 		case "fig13":
-			series, avg := nvmwear.RunFig13(sc)
+			series, avg, err := nvmwear.RunFig13(sc)
 			emit("Fig 13: region size (lines) vs runtime for settling-window sizes (soplex)",
 				"requests", series)
 			for _, s := range series {
 				fmt.Printf("avg cache hit rate %s: %.1f%%\n", s.Label, avg[s.Label])
 			}
+			fail(err)
 		case "fig14":
-			for _, r := range nvmwear.RunFig14(sc) {
+			res, err := nvmwear.RunFig14(sc)
+			for _, r := range res {
 				fmt.Printf("== Fig 14 (%s) ==\n", r.Bench)
 				fmt.Printf("avg hit rate: NWL-4 %.1f%%  NWL-64 %.1f%%  SAWL %.1f%%\n",
 					r.AvgNWL4, r.AvgNWL64, r.AvgSAWL)
 				fmt.Print(nvmwear.SeriesTable("SAWL region-size trace",
 					"requests", []nvmwear.Series{r.RegionSize}, "%.1f").Render())
 			}
+			fail(err)
 		case "fig15":
+			series, err := nvmwear.RunFig15(sc)
 			emit("Fig 15: normalized lifetime (%) vs swapping period, BPA",
-				"period", nvmwear.RunFig15(sc))
+				"period", series)
+			fail(err)
 		case "fig16":
-			printFig16(sc, true)
-			printFig16(sc, false)
+			fail(printFig16(sc, true))
+			fail(printFig16(sc, false))
 		case "fig17":
-			series := nvmwear.RunFig17(sc)
+			series, err := nvmwear.RunFig17(sc)
 			tab := nvmwear.SeriesTable(
 				"Fig 17: IPC degradation (%) vs baseline without wear leveling",
 				"bench#", series, "%.1f")
 			relabelBenches(&tab)
 			fmt.Print(tab.Render())
+			fail(err)
+		case "fault":
+			life, loss, err := nvmwear.RunFault(sc)
+			emit("Fault sweep: normalized lifetime (%) vs injected fault rate, uniform 50% writes",
+				"rate", life)
+			currentFig = "fault-loss"
+			emit("Fault sweep: uncorrectable losses per 1M reads vs injected fault rate",
+				"rate", loss)
+			fail(err)
 		case "overhead":
 			fmt.Print(nvmwear.RunOverhead(64<<30, 64<<20, 32).Render())
 		case "attack":
@@ -191,18 +251,20 @@ func main() {
 	}
 }
 
-// printFig16 renders one panel of Fig 16.
-func printFig16(sc nvmwear.Scale, coarse bool) {
+// printFig16 renders one panel of Fig 16, returning the sweep's error (if
+// any) after the completed rows were printed.
+func printFig16(sc nvmwear.Scale, coarse bool) error {
 	panel := "(a) coarse regions"
 	if !coarse {
 		panel = "(b) fine regions"
 	}
-	series := nvmwear.RunFig16(sc, coarse)
+	series, err := nvmwear.RunFig16(sc, coarse)
 	tab := nvmwear.SeriesTable(
 		fmt.Sprintf("Fig 16 %s: normalized lifetime (%%) under SPEC-like applications", panel),
 		"bench#", series, "%.1f")
 	relabelBenches(&tab)
 	fmt.Print(tab.Render())
+	return err
 }
 
 // relabelBenches replaces numeric benchmark indices with names (the last
@@ -254,7 +316,8 @@ Sweeps run as -j parallel jobs (default: all cores; each sweep reports
 wall-clock and jobs/s). Tables are byte-identical for every -j value:
 jobs are independent, results are collected in submission order, and job
 i is seeded deterministically from (seed, i). -q silences the per-job
-progress counter printed to stderr.
+progress counter printed to stderr. SIGINT/SIGTERM cancel the running
+sweep, flush the completed points as a partial table, and exit 130.
 
 experiments:
   table1    simulated system configuration (Table 1)
@@ -268,6 +331,7 @@ experiments:
   fig16     lifetime under 14 SPEC-like applications
   fig17     IPC degradation vs no-wear-leveling baseline
   overhead  hardware overhead arithmetic (Sec 4.5)
+  fault     lifetime + uncorrectable-loss curves vs injected fault rate
   attack    RAA + BPA resilience verdict per scheme (Sec 2.2)
   sweep     BPA lifetime over region-size x period grid (-scheme)
   project   wall-clock lifetime projection (-normalized, -endurance,

@@ -1,10 +1,73 @@
 package main
 
 import (
+	"bytes"
+	"os"
+	osexec "os/exec"
+	"runtime"
+	"strings"
+	"syscall"
 	"testing"
+	"time"
 
 	"nvmwear"
 )
+
+// TestMain lets this test binary stand in for the wlsim executable: when
+// re-executed with WLSIM_RUN_MAIN=1 it runs main() instead of the tests,
+// so the signal-handling integration test below needs no separate build.
+func TestMain(m *testing.M) {
+	if os.Getenv("WLSIM_RUN_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// TestSIGINTFlushesPartialTable interrupts a multi-job sweep mid-run and
+// checks the contract the usage text states: the completed points are
+// flushed as a partial table on stdout and the process exits 130.
+func TestSIGINTFlushesPartialTable(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal test")
+	}
+	// WLSIM_JOB_DELAY_MS stretches the 56-job fig3 sweep so the signal
+	// reliably lands mid-run; -j1 keeps the completed prefix contiguous.
+	cmd := osexec.Command(os.Args[0], "-scale", "small", "-j", "1", "-q", "fig3")
+	cmd.Env = append(os.Environ(), "WLSIM_RUN_MAIN=1", "WLSIM_JOB_DELAY_MS=300")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Give the sweep time to complete a couple of jobs, then interrupt.
+	time.Sleep(1500 * time.Millisecond)
+	if err := cmd.Process.Signal(syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	var err error
+	select {
+	case err = <-waitErr:
+	case <-time.After(30 * time.Second):
+		cmd.Process.Kill()
+		t.Fatalf("wlsim did not exit after SIGINT; stderr:\n%s", stderr.String())
+	}
+	ee, ok := err.(*osexec.ExitError)
+	if !ok {
+		t.Fatalf("expected nonzero exit after SIGINT, got err=%v; stdout:\n%s", err, stdout.String())
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130; stderr:\n%s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "Fig 3") {
+		t.Errorf("partial table missing from stdout:\n%s", stdout.String())
+	}
+	if !strings.Contains(stderr.String(), "interrupted") {
+		t.Errorf("no interruption notice on stderr:\n%s", stderr.String())
+	}
+}
 
 func TestRelabelBenches(t *testing.T) {
 	var tab nvmwear.Table

@@ -1,6 +1,8 @@
 package nvmwear
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -169,6 +171,13 @@ type Scale struct {
 	// with the finished and total job counts. Calls are serialized by the
 	// pool; cmd/wlsim wires this to stderr.
 	Progress func(done, total int)
+
+	// Context, when non-nil, cancels in-flight sweeps: unstarted jobs are
+	// skipped and figure runners return the completed prefix of their
+	// series together with an error wrapping ErrInterrupted. cmd/wlsim
+	// wires SIGINT/SIGTERM to this so an interrupted sweep still flushes a
+	// partial table. A nil Context never cancels.
+	Context context.Context
 }
 
 // ScaleSmall regenerates every figure in seconds to a few minutes — the
@@ -260,26 +269,39 @@ func (sc Scale) traceLines() uint64 {
 // pool builds the scale's experiment engine: Parallelism workers and
 // per-job seeds derived from Seed.
 func (sc Scale) pool() *exec.Pool {
-	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed}
+	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed, Context: sc.Context}
 	if sc.Progress != nil {
 		p.OnDone = func(done, total int, _ time.Duration) { sc.Progress(done, total) }
 	}
 	return p
 }
 
+// ErrInterrupted marks a sweep cut short by Scale.Context (SIGINT in
+// cmd/wlsim). Runners that return it also return every series point whose
+// job completed, so callers can flush a partial table before exiting.
+var ErrInterrupted = errors.New("nvmwear: sweep interrupted")
+
 // runJobs fans n experiment jobs out on the scale's pool and returns their
-// results in submission order. Figure runners have no error path, so a
-// failing job panics — the same behaviour the serial loops had.
+// results in submission order. If the scale's context is cancelled mid-
+// sweep, the longest completed prefix of results is returned together with
+// an error wrapping ErrInterrupted; any other job error is returned as-is
+// with the lowest job index winning (deterministic regardless of
+// scheduling).
 //
 // Seeding convention: lifetime sweeps pass the job's derived seed into the
 // workload and scheme they build, giving every point an independent random
 // stream regardless of worker count. Fixed-length trace figures (12-14, 17)
 // instead keep sc.Seed so all panels of one figure observe the identical
 // request stream — those figures compare configurations on the same trace.
-func runJobs[T any](sc Scale, n int, fn func(i int, seed uint64) (T, error)) []T {
+func runJobs[T any](sc Scale, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
 	out, err := exec.Map(sc.pool(), n, fn)
-	if err != nil {
-		panic(err)
+	var ce *exec.CanceledError
+	if errors.As(err, &ce) {
+		done := 0
+		for done < len(ce.Done) && ce.Done[done] {
+			done++
+		}
+		return out[:done], fmt.Errorf("%w after %d/%d jobs (%v)", ErrInterrupted, done, n, ce.Err)
 	}
-	return out
+	return out, err
 }

@@ -35,7 +35,7 @@ func sawlTraceConfig(sc Scale, sow, ssw uint64, onSample func(core.Sample)) Syst
 
 // runTrace drives `requests` of the named SPEC profile through SAWL and
 // returns the sampled (hit rate, region size) trajectories.
-func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit float64) {
+func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit float64, err error) {
 	hit = Series{Label: fmt.Sprintf("SOW=%d", sow)}
 	size = Series{Label: fmt.Sprintf("SSW=%d", ssw)}
 	var sum float64
@@ -47,11 +47,11 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 		n++
 	}))
 	if err != nil {
-		panic(err)
+		return hit, size, 0, err
 	}
 	stream, _, err := WorkloadSpec{Kind: WorkloadSPEC, Name: bench, Seed: sc.Seed}.Build(sc.traceLines())
 	if err != nil {
-		panic(err)
+		return hit, size, 0, err
 	}
 	for i := uint64(0); i < sc.Requests; i++ {
 		r := stream.Next()
@@ -64,7 +64,7 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 	if n > 0 {
 		avgHit = 100 * sum / float64(n)
 	}
-	return hit, size, avgHit
+	return hit, size, avgHit, nil
 }
 
 // RunFig12 reproduces Fig 12: the sampled cache hit rate as a function of
@@ -76,11 +76,14 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 // The four window sizes run as parallel jobs. Each job keeps sc.Seed (not
 // the job-derived seed): the figure compares window sizes on the identical
 // soplex request stream, as the serial loops did.
-func RunFig12(sc Scale) []Series {
+func RunFig12(sc Scale) ([]Series, error) {
 	windows := scaledWindows(sc)
 	return runJobs(sc, len(windows), func(i int, _ uint64) (Series, error) {
 		sow := windows[i]
-		hit, _, _ := runTrace(sc, "soplex", sow, sc.Requests/4)
+		hit, _, _, err := runTrace(sc, "soplex", sow, sc.Requests/4)
+		if err != nil {
+			return Series{}, err
+		}
 		hit.Label = fmt.Sprintf("SOW=2^%d", log2u(sow))
 		return hit, nil
 	})
@@ -90,15 +93,18 @@ func RunFig12(sc Scale) []Series {
 // settling-window sizes under soplex, each annotated (via the returned
 // avg map) with the average cache hit rate — the paper's per-panel labels.
 // Parallelized like RunFig12, sharing sc.Seed across jobs.
-func RunFig13(sc Scale) ([]Series, map[string]float64) {
+func RunFig13(sc Scale) ([]Series, map[string]float64, error) {
 	windows := scaledWindows(sc)
 	type point struct {
 		size   Series
 		avgHit float64
 	}
-	res := runJobs(sc, len(windows), func(i int, _ uint64) (point, error) {
+	res, err := runJobs(sc, len(windows), func(i int, _ uint64) (point, error) {
 		ssw := windows[i]
-		_, size, avgHit := runTrace(sc, "soplex", sc.Requests/8, ssw)
+		_, size, avgHit, err := runTrace(sc, "soplex", sc.Requests/8, ssw)
+		if err != nil {
+			return point{}, err
+		}
 		size.Label = fmt.Sprintf("SSW=2^%d", log2u(ssw))
 		return point{size, avgHit}, nil
 	})
@@ -108,7 +114,7 @@ func RunFig13(sc Scale) ([]Series, map[string]float64) {
 		out = append(out, p.size)
 		avg[p.size.Label] = p.avgHit
 	}
-	return out, avg
+	return out, avg, err
 }
 
 // scaledWindows returns four window sizes spanning a 64x range scaled to
@@ -157,7 +163,7 @@ type Fig14Result struct {
 //
 // The three measurements per benchmark (NWL-4, NWL-64, SAWL) are
 // independent fixed-length runs, so all nine fan out as one job list.
-func RunFig14(sc Scale) []Fig14Result {
+func RunFig14(sc Scale) ([]Fig14Result, error) {
 	benches := []string{"bzip2", "cactusADM", "gcc"}
 	// Per-bench job triplet: NWL-4 avg, NWL-64 avg, SAWL trace.
 	const perBench = 3
@@ -165,38 +171,46 @@ func RunFig14(sc Scale) []Fig14Result {
 		avg       float64
 		hit, size Series
 	}
-	res := runJobs(sc, perBench*len(benches), func(i int, _ uint64) (measure, error) {
+	res, err := runJobs(sc, perBench*len(benches), func(i int, _ uint64) (measure, error) {
 		bench := benches[i/perBench]
 		switch i % perBench {
 		case 0:
-			return measure{avg: runNWLHitRate(sc, bench, 4)}, nil
+			avg, err := runNWLHitRate(sc, bench, 4)
+			return measure{avg: avg}, err
 		case 1:
-			return measure{avg: runNWLHitRate(sc, bench, 64)}, nil
+			avg, err := runNWLHitRate(sc, bench, 64)
+			return measure{avg: avg}, err
 		default:
-			hit, size, avg := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
+			hit, size, avg, err := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
+			if err != nil {
+				return measure{}, err
+			}
 			hit.Label = "SAWL " + bench
 			size.Label = "SAWL " + bench
 			return measure{avg: avg, hit: hit, size: size}, nil
 		}
 	})
-	out := make([]Fig14Result, len(benches))
+	var out []Fig14Result
 	for bi, bench := range benches {
+		if (bi+1)*perBench > len(res) {
+			break // interrupted sweep: only complete benchmark panels
+		}
 		nwl4, nwl64, sawl := res[bi*perBench], res[bi*perBench+1], res[bi*perBench+2]
-		out[bi] = Fig14Result{
+		out = append(out, Fig14Result{
 			Bench:      bench,
 			AvgNWL4:    nwl4.avg,
 			AvgNWL64:   nwl64.avg,
 			AvgSAWL:    sawl.avg,
 			HitRate:    sawl.hit,
 			RegionSize: sawl.size,
-		}
+		})
 	}
-	return out
+	return out, err
 }
 
 // runNWLHitRate measures the average CMT hit rate of the fixed-granularity
 // tiered scheme on a benchmark.
-func runNWLHitRate(sc Scale, bench string, gran uint64) float64 {
+func runNWLHitRate(sc Scale, bench string, gran uint64) (float64, error) {
 	sys, err := NewSystem(SystemConfig{
 		Scheme:     NWL,
 		Lines:      sc.traceLines(),
@@ -208,11 +222,11 @@ func runNWLHitRate(sc Scale, bench string, gran uint64) float64 {
 		Seed:       sc.Seed,
 	})
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	stream, _, err := WorkloadSpec{Kind: WorkloadSPEC, Name: bench, Seed: sc.Seed}.Build(sc.traceLines())
 	if err != nil {
-		panic(err)
+		return 0, err
 	}
 	for i := uint64(0); i < sc.Requests; i++ {
 		r := stream.Next()
@@ -222,5 +236,5 @@ func runNWLHitRate(sc Scale, bench string, gran uint64) float64 {
 			sys.Read(r.Addr)
 		}
 	}
-	return 100 * sys.Stats().CMTHitRate
+	return 100 * sys.Stats().CMTHitRate, nil
 }

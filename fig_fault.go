@@ -1,0 +1,82 @@
+package nvmwear
+
+import (
+	"nvmwear/internal/fault"
+)
+
+// This file implements the fault-injection sweep behind `wlsim fault`: how
+// gracefully each scheme degrades as the device gets less reliable. It is
+// not a figure from the paper — the paper assumes fault-free media — but
+// exercises the recovery machinery (write retry, spare remap, ECC scrub,
+// metadata rebuild) end to end under the same deterministic-parallel
+// contract as the paper figures.
+
+// FaultRates is the per-access fault-probability sweep the `fault`
+// experiment evaluates. Rate 0 is the fault-free control point: it must
+// reproduce the unfaulted simulation bit for bit (the injector performs no
+// RNG draws when disabled).
+var FaultRates = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
+
+// FaultSchemes are the schemes the fault sweep compares: the non-tiered
+// hybrid baseline plus both tiered schemes (whose NVM-resident metadata
+// adds a failure surface the others do not have).
+var FaultSchemes = []SchemeKind{PCMS, NWL, SAWL}
+
+// RunFault sweeps fault rate x scheme under a uniform 50%-write workload
+// until device failure. Each job's injected rate drives transient write
+// faults and read disturbs directly, hard stuck-at faults at a tenth of the
+// rate, and (tiered schemes only) metadata corruption at the full rate.
+//
+// Two series sets come back on the same X axis (fault rate): `life` is the
+// normalized lifetime in percent, `loss` the uncorrectable read losses per
+// million device reads. An interrupted sweep returns the completed points
+// plus an error wrapping ErrInterrupted.
+func RunFault(sc Scale) (life, loss []Series, err error) {
+	schemes := FaultSchemes
+	rates := FaultRates
+	type point struct {
+		life    float64
+		lossPPM float64
+	}
+	res, err := runJobs(sc, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
+		scheme, rate := schemes[i/len(rates)], rates[i%len(rates)]
+		sys, err := NewSystem(SystemConfig{
+			Scheme: scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: sc.AttackEndurance, Period: 8,
+			RegionLines: 64, InitGran: 4, CMTEntries: sc.CMTEntries,
+			Seed: seed,
+			Fault: fault.Config{
+				TransientWriteRate: rate,
+				StuckAtRate:        rate / 10,
+				ReadDisturbRate:    rate,
+				MetadataRate:       rate,
+			},
+		})
+		if err != nil {
+			return point{}, err
+		}
+		r, err := sys.RunLifetime(WorkloadSpec{
+			Kind: WorkloadUniform, WriteRatio: 0.5, Seed: seed,
+		}, 0)
+		if err != nil {
+			return point{}, err
+		}
+		p := point{life: 100 * r.Normalized}
+		if r.Reads > 0 {
+			p.lossPPM = float64(r.Uncorrectable) / float64(r.Reads) * 1e6
+		}
+		return p, nil
+	})
+	life = make([]Series, len(schemes))
+	loss = make([]Series, len(schemes))
+	for si, scheme := range schemes {
+		life[si].Label = string(scheme)
+		loss[si].Label = string(scheme)
+	}
+	for i, p := range res {
+		si, ri := i/len(rates), i%len(rates)
+		life[si].Append(rates[ri], p.life)
+		loss[si].Append(rates[ri], p.lossPPM)
+	}
+	return life, loss, err
+}

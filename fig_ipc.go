@@ -44,22 +44,30 @@ func Fig17Labels(k SchemeKind) string {
 // scheme-major. Every run keeps sc.Seed so a scheme and its baseline
 // measure the identical request stream — the degradation comparison the
 // figure is about.
-func RunFig17(sc Scale) []Series {
+func RunFig17(sc Scale) ([]Series, error) {
 	names := workload.Names()
 	schemes := Fig17Schemes
-	results := runJobs(sc, (1+len(schemes))*len(names),
+	results, err := runJobs(sc, (1+len(schemes))*len(names),
 		func(i int, _ uint64) (TimingResult, error) {
 			scheme, name := Baseline, names[i%len(names)]
 			if i >= len(names) {
 				scheme = schemes[i/len(names)-1]
 			}
-			return runTiming(sc, scheme, name), nil
+			return runTiming(sc, scheme, name)
 		})
+	if len(results) < len(names) {
+		// Interrupted before the baseline row finished: no degradation can
+		// be computed at all.
+		return nil, err
+	}
 	baseline := results[:len(names)]
 
 	out := make([]Series, len(schemes))
 	for si, scheme := range schemes {
 		out[si].Label = Fig17Labels(scheme)
+		if (2+si)*len(names) > len(results) {
+			continue // interrupted sweep: this scheme's row is incomplete
+		}
 		rows := results[(1+si)*len(names) : (2+si)*len(names)]
 		var ipcs, baseIPCs []float64
 		for bi, res := range rows {
@@ -83,12 +91,12 @@ func RunFig17(sc Scale) []Series {
 		}
 		out[si].Append(float64(len(names)), deg)
 	}
-	return out
+	return out, err
 }
 
 // runTiming executes one timing simulation of `sc.Requests/4` memory
 // requests for the scheme/benchmark pair.
-func runTiming(sc Scale, scheme SchemeKind, bench string) TimingResult {
+func runTiming(sc Scale, scheme SchemeKind, bench string) (TimingResult, error) {
 	requests := sc.Requests / 4
 	// A quarter of the hit-rate experiments' trace space: the IPC runs must
 	// reach adaptation steady state within the warmup budget (every region
@@ -119,11 +127,11 @@ func runTiming(sc Scale, scheme SchemeKind, bench string) TimingResult {
 	}
 	sys, err := NewSystem(cfg)
 	if err != nil {
-		panic(err)
+		return TimingResult{}, err
 	}
 	stream, name, err := WorkloadSpec{Kind: WorkloadSPEC, Name: bench, Seed: sc.Seed}.Build(sys.Lines())
 	if err != nil {
-		panic(err)
+		return TimingResult{}, err
 	}
 	// Warm up untimed (standard simulation methodology): caches fill and
 	// SAWL's granularity adaptation converges before measurement begins.
@@ -135,5 +143,5 @@ func runTiming(sc Scale, scheme SchemeKind, bench string) TimingResult {
 		Requests:           requests,
 		InstrPerMemReq:     instrFor(name),
 		GlobalSwapBlocking: scheme == PCMS,
-	})
+	}), nil
 }

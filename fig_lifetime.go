@@ -58,22 +58,25 @@ func regionSweep(lines uint64) []uint64 {
 
 // sweepPoint ties one sweep job to its destination: series index and X
 // value. appendPoints replays the pool's ordered results into the series,
-// reproducing exactly what the serial nested loops appended.
+// reproducing exactly what the serial nested loops appended. ys may be a
+// completed prefix of pts (interrupted sweep); the remaining points are
+// simply absent from the partial table.
 type sweepPoint struct {
 	series int
 	x      float64
 }
 
 func appendPoints(out []Series, pts []sweepPoint, ys []float64) {
-	for i, p := range pts {
-		out[p.series].Append(p.x, ys[i])
+	for i, y := range ys {
+		p := pts[i]
+		out[p.series].Append(p.x, y)
 	}
 }
 
 // RunFig3 reproduces Fig 3: normalized lifetime of TLSR under BPA as a
 // function of the number of regions, for inner swapping periods 8-64 and
 // two endurance levels (outer period fixed at 32, as in Sec 2.2).
-func RunFig3(sc Scale) []Series {
+func RunFig3(sc Scale) ([]Series, error) {
 	type job struct {
 		endurance uint32
 		period    uint64
@@ -92,7 +95,7 @@ func RunFig3(sc Scale) []Series {
 			}
 		}
 	}
-	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		repeats := j.period * (sc.AttackLines / j.regions) / 2
 		if repeats == 0 {
@@ -106,13 +109,13 @@ func RunFig3(sc Scale) []Series {
 		}, sc.AttackLines, sc.attackSpares(), j.endurance, repeats, seed), nil
 	})
 	appendPoints(out, pts, norms)
-	return out
+	return out, err
 }
 
 // RunFig4 reproduces Fig 4: normalized lifetime of the hybrid schemes
 // (PCM-S and MWSR) under BPA versus the number of regions, for swapping
 // periods 8-64 and two endurance levels.
-func RunFig4(sc Scale) []Series {
+func RunFig4(sc Scale) ([]Series, error) {
 	type job struct {
 		endurance uint32
 		scheme    SchemeKind
@@ -134,7 +137,7 @@ func RunFig4(sc Scale) []Series {
 			}
 		}
 	}
-	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		q := sc.AttackLines / j.regions
 		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
@@ -149,7 +152,7 @@ func RunFig4(sc Scale) []Series {
 		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
 	})
 	appendPoints(out, pts, norms)
-	return out
+	return out, err
 }
 
 // RunFig5 reproduces Fig 5: normalized lifetime of PCM-S and MWSR under
@@ -157,7 +160,7 @@ func RunFig4(sc Scale) []Series {
 // limits the number of regions each scheme can track (MWSR entries are
 // about twice the size of PCM-S entries, which is why it does worse at
 // equal budget). Budgets are scaled: the paper sweeps 64 KB-4 MB on 64 GB.
-func RunFig5(sc Scale) []Series {
+func RunFig5(sc Scale) ([]Series, error) {
 	budgets := []uint64{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
 	type job struct {
 		endurance uint32
@@ -177,7 +180,7 @@ func RunFig5(sc Scale) []Series {
 			}
 		}
 	}
-	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		regions := regionsForBudget(j.scheme, j.budget, sc.AttackLines)
 		q := sc.AttackLines / regions
@@ -193,7 +196,7 @@ func RunFig5(sc Scale) []Series {
 		}, sc.AttackLines, sc.attackSpares(), j.endurance, 32*q, seed), nil
 	})
 	appendPoints(out, pts, norms)
-	return out
+	return out, err
 }
 
 // regionsForBudget returns the largest power-of-two region count whose
@@ -222,7 +225,7 @@ func regionsForBudget(scheme SchemeKind, budget uint64, lines uint64) uint64 {
 // table in NVM and wear-levels at the initial 4-line granularity with no
 // such bound, which is why it wins by the paper's 25-51% (50-78% at low
 // endurance).
-func RunFig15(sc Scale) []Series {
+func RunFig15(sc Scale) ([]Series, error) {
 	type job struct {
 		endurance uint32
 		scheme    SchemeKind
@@ -241,7 +244,7 @@ func RunFig15(sc Scale) []Series {
 			}
 		}
 	}
-	norms := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		if j.scheme == SAWL {
 			sys, err := NewSystem(SystemConfig{
@@ -278,7 +281,7 @@ func RunFig15(sc Scale) []Series {
 		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
 	})
 	appendPoints(out, pts, norms)
-	return out
+	return out, err
 }
 
 // RunFig16 reproduces Fig 16: normalized lifetime under the 14 SPEC-like
@@ -287,7 +290,7 @@ func RunFig15(sc Scale) []Series {
 // final point of each series is the harmonic mean, the paper's "Hmean"
 // bar. X values index the benchmark in SpecBenchmarks() order (the Hmean
 // point is appended at index len(benchmarks)).
-func RunFig16(sc Scale, coarse bool) []Series {
+func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 	// (a) coarse: 64-line regions (the paper's 4096-region config, where
 	// RBSG/TLSR regions are large); (b) fine: 8-line regions (the paper's
 	// 1M-region config).
@@ -309,7 +312,7 @@ func RunFig16(sc Scale, coarse bool) []Series {
 
 	// One job per (scheme, benchmark) lifetime run, scheme-major so the
 	// results slice regroups directly into series.
-	norms := runJobs(sc, len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
 		scheme, name := schemes[i/len(names)], names[i%len(names)]
 		cfg := SystemConfig{
 			Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
@@ -336,13 +339,18 @@ func RunFig16(sc Scale, coarse bool) []Series {
 	})
 	for si := range schemes {
 		out[si].Label = string(schemes[si])
+		if (si+1)*len(names) > len(norms) {
+			// Interrupted sweep: this scheme's row is incomplete, so its
+			// benchmark points and Hmean would be wrong — leave it empty.
+			continue
+		}
 		values := norms[si*len(names) : (si+1)*len(names)]
 		for bi, v := range values {
 			out[si].Append(float64(bi), v)
 		}
 		out[si].Append(float64(len(names)), 100*hmeanPct(values))
 	}
-	return out
+	return out, err
 }
 
 // hmeanPct computes the harmonic mean of percent values, returned as a

@@ -1,0 +1,133 @@
+package nvmwear
+
+import (
+	"context"
+	"errors"
+	"os"
+	"testing"
+)
+
+// This file holds the zero-fault regression guarantee: the fault-injection
+// plumbing added across nvm/imt/core must leave fault-free simulations
+// byte-identical to the pre-fault codebase. The testdata/*.golden tables
+// were rendered from the tiny scale before any fault code existed; every
+// run here — serial or parallel — must reproduce them exactly.
+
+func TestZeroFaultGoldenTables(t *testing.T) {
+	cases := []struct {
+		name string
+		file string
+		run  func(Scale) ([]Series, error)
+	}{
+		{"fig3", "testdata/fig3_tiny.golden", RunFig3},
+		{"fig4", "testdata/fig4_tiny.golden", RunFig4},
+		{"fig15", "testdata/fig15_tiny.golden", RunFig15},
+		{"fig16a", "testdata/fig16a_tiny.golden", func(sc Scale) ([]Series, error) {
+			return RunFig16(sc, true)
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			want, err := os.ReadFile(c.file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, j := range []int{1, 8} {
+				got := renderFig(c.run(withParallelism(tinyScale(), j)))
+				if got != string(want) {
+					t.Errorf("-j%d table deviates from pre-fault golden %s:\n--- got ---\n%s--- want ---\n%s",
+						j, c.file, got, want)
+				}
+			}
+		})
+	}
+}
+
+// TestFaultSweepDeterministic pins the new fault figure to the same
+// contract as the paper figures: byte-identical tables across worker
+// counts and across repeated same-seed runs (every fault draw comes from
+// the per-job seeded substreams, never from shared state).
+func TestFaultSweepDeterministic(t *testing.T) {
+	render := func(j int) string {
+		life, loss, err := RunFault(withParallelism(tinyScale(), j))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderFig(life, nil) + renderFig(loss, nil)
+	}
+	first := render(1)
+	if again := render(1); again != first {
+		t.Fatalf("fault tables differ between repeated -j1 runs:\n%s\nvs\n%s", first, again)
+	}
+	if parallel := render(8); parallel != first {
+		t.Fatalf("fault tables differ between -j1 and -j8:\n--- j1 ---\n%s--- j8 ---\n%s", first, parallel)
+	}
+}
+
+// TestFaultSweepDegrades sanity-checks the sweep's shape: the highest
+// injected fault rate must cost every scheme most of its lifetime and
+// produce uncorrectable losses, while the zero-rate point reports none.
+func TestFaultSweepDegrades(t *testing.T) {
+	life, loss, err := RunFault(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range life {
+		l := life[si]
+		if len(l.Y) != len(FaultRates) {
+			t.Fatalf("%s: %d lifetime points, want %d", l.Label, len(l.Y), len(FaultRates))
+		}
+		worst, clean := l.Y[len(l.Y)-1], l.Y[0]
+		if worst >= clean/2 {
+			t.Errorf("%s: lifetime %.1f%% at rate %v not below half the clean %.1f%%",
+				l.Label, worst, FaultRates[len(FaultRates)-1], clean)
+		}
+		if loss[si].Y[0] != 0 {
+			t.Errorf("%s: %.2f uncorrectable losses per 1M reads at rate 0", l.Label, loss[si].Y[0])
+		}
+		if loss[si].Y[len(loss[si].Y)-1] == 0 {
+			t.Errorf("%s: no uncorrectable losses at the highest fault rate", l.Label)
+		}
+	}
+}
+
+// TestInterruptedSweepFlushesPrefix cancels a sweep mid-run through
+// Scale.Context and checks the library-level contract wlsim builds on:
+// the completed prefix of points comes back alongside an error wrapping
+// ErrInterrupted.
+func TestInterruptedSweepFlushesPrefix(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	sc := tinyScale()
+	sc.Parallelism = 1
+	sc.Context = ctx
+	fired := false
+	sc.Progress = func(done, total int) {
+		if !fired && done >= 2 {
+			fired = true
+			cancel()
+		}
+	}
+	series, err := RunFig3(sc)
+	if !errors.Is(err, ErrInterrupted) {
+		t.Fatalf("err = %v, want ErrInterrupted", err)
+	}
+	points := 0
+	for _, s := range series {
+		points += len(s.Y)
+	}
+	// At least the two jobs that triggered cancellation flushed; the full
+	// figure (which must not have completed) has 56 points.
+	if points < 2 || points >= 56 {
+		t.Fatalf("%d points flushed from an interrupted 56-job sweep", points)
+	}
+	// The flushed prefix must match the same jobs of an uninterrupted run.
+	full := must(RunFig3(withParallelism(tinyScale(), 1)))
+	for si, s := range series {
+		for i, y := range s.Y {
+			if full[si].X[i] != s.X[i] || full[si].Y[i] != y {
+				t.Fatalf("series %d point %d: partial (%v,%v) != full (%v,%v)",
+					si, i, s.X[i], y, full[si].X[i], full[si].Y[i])
+			}
+		}
+	}
+}

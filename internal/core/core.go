@@ -25,6 +25,7 @@ import (
 
 	"nvmwear/internal/addr"
 	"nvmwear/internal/cmt"
+	"nvmwear/internal/fault"
 	"nvmwear/internal/gtd"
 	"nvmwear/internal/imt"
 	"nvmwear/internal/metrics"
@@ -97,6 +98,13 @@ type Config struct {
 	GTDPeriod           uint64 // GTD swapping period (default 128)
 
 	Seed uint64
+
+	// Fault enables metadata-fault injection on the NVM-resident mapping
+	// table (internal/fault, StreamMetadata substream): translation-line
+	// writes may corrupt one stored entry, detected by per-entry checksums
+	// on fetch and rebuilt from the engine's inverse table. The zero value
+	// disables injection and adds no work to any path.
+	Fault fault.Config
 
 	// OnSample, when set, is invoked every CheckEvery requests.
 	OnSample func(Sample)
@@ -241,7 +249,40 @@ func New(dev *nvm.Device, cfg Config) *Scheme {
 	for i := uint64(0); i < nRegions; i++ {
 		s.rev[i] = uint32(i)
 	}
+	if inj := fault.NewInjector(cfg.Fault, fault.StreamMetadata); inj != nil {
+		s.table.EnableFaults(inj, s.rebuildEntry)
+	}
 	return s
+}
+
+// rebuildEntry recovers a corrupted IMT entry from the inverse table: it
+// scans rev for any physical slot holding a sub-entry of the region
+// covering idx, derives the region's physical number and the high (slot-
+// level) key bits from that slot, and brute-forces the low
+// (intra-initial-granularity) key bits — which rev cannot see — against the
+// stored checksum. ok is false when no candidate reproduces the checksum;
+// the returned fallback (low key bits zero) is still a valid bijection.
+func (s *Scheme) rebuildEntry(idx uint64, level uint8, want uint16) (uint64, bool) {
+	span := uint64(1) << level
+	base := idx &^ (span - 1)
+	q := s.p << level
+	for slot := uint64(0); slot < s.nRegions; slot++ {
+		lrn := uint64(s.rev[slot])
+		if lrn < base || lrn >= base+span {
+			continue
+		}
+		sub := lrn - base
+		prn := slot / span
+		keyHigh := (slot % span) ^ sub
+		d0 := prn*q + keyHigh*s.p
+		for k := uint64(0); k < s.p; k++ {
+			if imt.EntrySum(idx, d0+k, level) == want {
+				return d0 + k, true
+			}
+		}
+		return d0, false
+	}
+	return base * s.p, false // unreachable while rev is consistent
 }
 
 // lookup resolves the mapping entry covering initial region lrn0, going to
@@ -403,7 +444,24 @@ func (s *Scheme) Stats() wl.Stats {
 	cs := s.cache.Stats()
 	st.CMTHits = cs.Hits
 	st.CMTMisses = cs.Misses
+	fs := s.table.FaultStats()
+	st.MetaFaults = fs.Corruptions
+	st.MetaRebuilds = fs.Rebuilds
 	return st
+}
+
+// InverseTranslate maps a physical data line back to the logical line
+// currently stored there, using the inverse table. It is the exact inverse
+// of Translate (tests and the fuzz harness rely on this).
+func (s *Scheme) InverseTranslate(pma uint64) uint64 {
+	slot := pma / s.p
+	lrn0 := uint64(s.rev[slot])
+	base, _, e := s.table.Region(lrn0)
+	q := s.p << e.Level
+	prn := e.D / q
+	key := e.D % q
+	off := (pma - prn*q) ^ key
+	return base*s.p + off
 }
 
 // Merges returns the number of region-merge operations performed.
@@ -435,6 +493,10 @@ func (s *Scheme) Table() *imt.Table { return s.table }
 // encoding, rev-map agreement, and CMT coherence with the IMT. Tests call
 // it after stress runs.
 func (s *Scheme) CheckConsistency() error {
+	// With metadata faults enabled, scrub first: corruption injected since
+	// the last fetch of an entry is by design only detected on fetch, and
+	// the audit below reads the raw arrays.
+	s.table.Scrub()
 	if err := s.table.VerifyLevels(); err != nil {
 		return err
 	}

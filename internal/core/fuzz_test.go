@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
 )
 
 // FuzzRecover feeds arbitrary bytes to the checkpoint decoder: it must
@@ -37,6 +38,58 @@ func FuzzRecover(f *testing.F) {
 		}
 		if err := rec.CheckConsistency(); err != nil {
 			t.Fatalf("accepted checkpoint yields inconsistent engine: %v", err)
+		}
+	})
+}
+
+// FuzzTranslateRoundTrip drives the engine through an arbitrary sequence of
+// remap operations (exchanges, merges, splits, demand writes) and asserts
+// the mapping stays a bijection: logical -> physical -> logical is the
+// identity for every line, via the inverse table.
+func FuzzTranslateRoundTrip(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x10, 0x41, 0x22, 0x93, 0x07})
+	f.Add([]byte{0xff, 0xfe, 0xfd, 0x01, 0x02, 0x03, 0x81, 0x44})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		cfg := Config{
+			Lines: 1 << 8, InitGran: 4, MaxGranLines: 64,
+			Period: 4, CMTEntries: 16, Adaptive: true, Seed: 5,
+		}.withDefaults()
+		dev := nvm.New(nvm.Config{Lines: cfg.DeviceLines(), Endurance: 1 << 30, TrackData: true})
+		s := New(dev, cfg)
+
+		nRegions := cfg.Lines / cfg.InitGran
+		for i := 0; i+1 < len(data); i += 2 {
+			idx := uint64(data[i+1]) % nRegions
+			switch data[i] % 4 {
+			case 0:
+				s.ForceExchange(idx)
+			case 1:
+				s.ForceMerge(idx)
+			case 2:
+				s.ForceSplit(idx)
+			default:
+				s.Access(trace.Write, (uint64(data[i])<<8|uint64(data[i+1]))%cfg.Lines)
+			}
+		}
+
+		seen := make([]bool, cfg.Lines)
+		for lma := uint64(0); lma < cfg.Lines; lma++ {
+			pma := s.Translate(lma)
+			if pma >= cfg.Lines {
+				t.Fatalf("Translate(%d) = %d outside data space", lma, pma)
+			}
+			if seen[pma] {
+				t.Fatalf("Translate not injective: pma %d hit twice", pma)
+			}
+			seen[pma] = true
+			if back := s.InverseTranslate(pma); back != lma {
+				t.Fatalf("round trip %d -> %d -> %d", lma, pma, back)
+			}
+		}
+		if err := s.CheckConsistency(); err != nil {
+			t.Fatal(err)
 		}
 	})
 }

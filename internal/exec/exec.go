@@ -12,9 +12,18 @@
 //  2. Each job receives a seed derived deterministically from
 //     (BaseSeed, job index) via rng.SeedStream, so a job's random streams
 //     do not depend on which worker runs it or when.
+//
+// The pool is additionally context-aware: a sweep can be cancelled mid-run
+// (Pool.Context — wlsim wires SIGINT/SIGTERM to this), each job can carry a
+// wall-clock timeout (Pool.JobTimeout), and jobs that fail with a retryable
+// error (Retryable, or a timeout) are re-attempted with exponential backoff
+// up to Pool.Retries times. Cancellation reports which jobs completed via
+// *CanceledError so callers can flush partial results.
 package exec
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -25,7 +34,8 @@ import (
 )
 
 // Pool describes how a sweep executes. The zero value is usable: every
-// available core, base seed 0, no progress reporting.
+// available core, base seed 0, no progress reporting, no cancellation, no
+// timeout, no retries.
 type Pool struct {
 	// Workers bounds the number of concurrently running jobs.
 	// Values <= 0 select runtime.GOMAXPROCS(0).
@@ -39,6 +49,27 @@ type Pool struct {
 	// number of completed jobs so far, the sweep size, and the job's wall
 	// time. Calls are serialized; the callback must not block for long.
 	OnDone func(done, total int, elapsed time.Duration)
+
+	// Context, when non-nil, cancels the sweep: unstarted jobs are skipped,
+	// in-flight jobs are abandoned, and Map returns a *CanceledError
+	// recording which jobs completed. A nil Context never cancels.
+	Context context.Context
+
+	// JobTimeout, when > 0, bounds each job attempt's wall time. A timed-out
+	// attempt fails with a *TimeoutError, which is retryable.
+	JobTimeout time.Duration
+
+	// Retries is the number of extra attempts a job gets after failing with
+	// a retryable error (see Retryable and TimeoutError). Non-retryable
+	// errors fail the sweep immediately.
+	Retries int
+
+	// Backoff is the delay before the first retry, doubling per attempt.
+	// Zero retries immediately.
+	Backoff time.Duration
+
+	// Sleep replaces time.Sleep for backoff waits (test hook).
+	Sleep func(time.Duration)
 }
 
 // workers resolves the effective worker count for n jobs.
@@ -51,6 +82,31 @@ func (p *Pool) workers(n int) int {
 		w = n
 	}
 	return w
+}
+
+// context resolves the effective context.
+func (p *Pool) context() context.Context {
+	if p.Context != nil {
+		return p.Context
+	}
+	return context.Background()
+}
+
+// sleep waits d, honoring the Sleep test hook and the context.
+func (p *Pool) sleep(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if p.Sleep != nil {
+		p.Sleep(d)
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // PanicError carries a panic raised inside a job to the goroutine that
@@ -66,18 +122,85 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("exec: job %d panicked: %v\n%s", e.Index, e.Value, e.Stack)
 }
 
+// retryableError marks a wrapped error as safe to retry.
+type retryableError struct{ err error }
+
+func (e retryableError) Error() string { return e.err.Error() }
+func (e retryableError) Unwrap() error { return e.err }
+
+// Retryable wraps err so the pool re-attempts the job (up to Pool.Retries).
+// A nil err returns nil.
+func Retryable(err error) error {
+	if err == nil {
+		return nil
+	}
+	return retryableError{err}
+}
+
+// IsRetryable reports whether err (or an error it wraps) was marked with
+// Retryable or is a *TimeoutError.
+func IsRetryable(err error) bool {
+	var r retryableError
+	if errors.As(err, &r) {
+		return true
+	}
+	var to *TimeoutError
+	return errors.As(err, &to)
+}
+
+// TimeoutError reports a job attempt that exceeded Pool.JobTimeout. It is
+// retryable: a fresh attempt may hit a quieter machine.
+type TimeoutError struct {
+	Index   int
+	Timeout time.Duration
+}
+
+// Error implements error.
+func (e *TimeoutError) Error() string {
+	return fmt.Sprintf("exec: job %d exceeded timeout %v", e.Index, e.Timeout)
+}
+
+// CanceledError reports a sweep cut short by Pool.Context. Done records,
+// per job index, whether that job completed and its result slot is valid —
+// callers flush the completed prefix as a partial table.
+type CanceledError struct {
+	Done []bool
+	Err  error // the context's cancellation cause
+}
+
+// Error implements error.
+func (e *CanceledError) Error() string {
+	n := 0
+	for _, d := range e.Done {
+		if d {
+			n++
+		}
+	}
+	return fmt.Sprintf("exec: sweep canceled (%v) with %d/%d jobs complete", e.Err, n, len(e.Done))
+}
+
+// Unwrap exposes the cancellation cause (context.Canceled etc).
+func (e *CanceledError) Unwrap() error { return e.Err }
+
 // Map runs jobs 0..n-1 through fn on the pool and returns the n results in
 // index order. fn receives the job index and the job's derived seed.
 //
-// If a job returns an error, remaining unstarted jobs are skipped and the
-// error with the lowest job index is returned (deterministic regardless of
-// scheduling). If a job panics, Map re-panics on the calling goroutine
-// with a *PanicError wrapping the original value and the worker's stack.
+// If a job returns a non-retryable error, remaining unstarted jobs are
+// skipped and the error with the lowest job index is returned
+// (deterministic regardless of scheduling). Retryable errors (Retryable,
+// *TimeoutError) are re-attempted up to Retries times with exponential
+// backoff before counting as failure. If the pool's context is cancelled,
+// Map stops dispatching, abandons in-flight jobs, and returns a
+// *CanceledError whose Done slice marks the valid entries of the result
+// slice. If a job panics, Map re-panics on the calling goroutine with a
+// *PanicError wrapping the original value and the worker's stack.
 func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
 	}
+	ctx := p.context()
 	results := make([]T, n)
+	doneFlags := make([]bool, n)
 	var (
 		next     atomic.Int64 // index dispenser
 		stop     atomic.Bool  // set on first error/panic: skip unstarted jobs
@@ -89,10 +212,57 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 		wg       sync.WaitGroup
 	)
 	next.Store(-1)
+
+	// attempt runs fn once for job i, enforcing JobTimeout and context
+	// cancellation. When either can interrupt the attempt, fn runs on its
+	// own goroutine and writes its result through a channel — an abandoned
+	// attempt therefore never touches the shared results slice.
+	attempt := func(i int, seed uint64) (T, error) {
+		if p.JobTimeout <= 0 && ctx.Done() == nil {
+			return fn(i, seed)
+		}
+		type outcome struct {
+			v   T
+			err error
+			pan *PanicError
+		}
+		ch := make(chan outcome, 1)
+		go func() {
+			defer func() {
+				if v := recover(); v != nil {
+					ch <- outcome{pan: &PanicError{Index: i, Value: v, Stack: stack()}}
+				}
+			}()
+			v, err := fn(i, seed)
+			ch <- outcome{v: v, err: err}
+		}()
+		var timeout <-chan time.Time
+		if p.JobTimeout > 0 {
+			t := time.NewTimer(p.JobTimeout)
+			defer t.Stop()
+			timeout = t.C
+		}
+		var zero T
+		select {
+		case out := <-ch:
+			if out.pan != nil {
+				panic(out.pan.Value) // re-raised; worker's recover records it
+			}
+			return out.v, out.err
+		case <-timeout:
+			return zero, &TimeoutError{Index: i, Timeout: p.JobTimeout}
+		case <-ctx.Done():
+			return zero, context.Cause(ctx)
+		}
+	}
+
 	run := func(i int) (err error) {
 		defer func() {
 			if v := recover(); v != nil {
-				pe := &PanicError{Index: i, Value: v, Stack: stack()}
+				pe, ok := v.(*PanicError)
+				if !ok {
+					pe = &PanicError{Index: i, Value: v, Stack: stack()}
+				}
 				mu.Lock()
 				if pan == nil || i < pan.Index {
 					pan = pe
@@ -101,35 +271,50 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 				stop.Store(true)
 			}
 		}()
+		seed := rng.SeedStream(p.BaseSeed, uint64(i))
 		start := time.Now()
-		results[i], err = fn(i, rng.SeedStream(p.BaseSeed, uint64(i)))
-		if err != nil {
-			return err
+		for a := 0; ; a++ {
+			var v T
+			v, err = attempt(i, seed)
+			if err == nil {
+				results[i] = v
+				mu.Lock()
+				doneFlags[i] = true
+				done++
+				if p.OnDone != nil {
+					p.OnDone(done, n, time.Since(start))
+				}
+				mu.Unlock()
+				return nil
+			}
+			if ctx.Err() != nil {
+				return context.Cause(ctx)
+			}
+			if a >= p.Retries || !IsRetryable(err) {
+				return err
+			}
+			p.sleep(ctx, p.Backoff<<a)
 		}
-		mu.Lock()
-		done++
-		if p.OnDone != nil {
-			p.OnDone(done, n, time.Since(start))
-		}
-		mu.Unlock()
-		return nil
 	}
+
 	for w := p.workers(n); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1))
-				if i >= n || stop.Load() {
+				if i >= n || stop.Load() || ctx.Err() != nil {
 					return
 				}
 				if err := run(i); err != nil {
-					mu.Lock()
-					if i < errIndex {
-						errIndex, firstErr = i, err
+					if ctx.Err() == nil {
+						mu.Lock()
+						if i < errIndex {
+							errIndex, firstErr = i, err
+						}
+						mu.Unlock()
+						stop.Store(true)
 					}
-					mu.Unlock()
-					stop.Store(true)
 					return
 				}
 			}
@@ -139,7 +324,13 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 	if pan != nil {
 		panic(pan)
 	}
-	return results, firstErr
+	if firstErr != nil {
+		return results, firstErr
+	}
+	if ctx.Err() != nil {
+		return results, &CanceledError{Done: doneFlags, Err: context.Cause(ctx)}
+	}
+	return results, nil
 }
 
 // stack returns the current goroutine's stack trace.

@@ -22,6 +22,7 @@ import (
 	"fmt"
 
 	"nvmwear/internal/addr"
+	"nvmwear/internal/fault"
 	"nvmwear/internal/gtd"
 )
 
@@ -40,6 +41,107 @@ type Table struct {
 
 	entries []uint64
 	levels  []uint8
+	fs      *faultState // nil when metadata faults are disabled
+}
+
+// faultState carries the metadata-fault machinery: the injector, the
+// per-entry checksums that detect corruption, and the rebuild callback the
+// engine registers (it owns the inverse table the rebuild reads).
+type faultState struct {
+	inj     *fault.Injector
+	sums    []uint16
+	rebuild RebuildFunc
+
+	corruptions uint64 // checksum mismatches detected on fetch
+	rebuilds    uint64 // entries rebuilt from the inverse table
+	mismatches  uint64 // rebuilds whose candidates never matched the checksum
+}
+
+// RebuildFunc recovers entry idx (at the given level) after its stored word
+// failed its checksum. want is the stored checksum the candidate must
+// reproduce. ok is false when no candidate matched — the returned d is then
+// the caller's best reconstruction (still a valid mapping) and the event is
+// counted as a mismatch.
+type RebuildFunc func(idx uint64, level uint8, want uint16) (d uint64, ok bool)
+
+// EntrySum is the per-entry checksum stored alongside each mapping word —
+// the model of the controller's metadata ECC. It covers the entry index, the
+// packed address word, and the level, so a flipped bit in any of them (or an
+// entry written to the wrong slot) is detected on fetch.
+func EntrySum(idx, d uint64, level uint8) uint16 {
+	x := idx*0x9e3779b97f4a7c15 ^ d*0xbf58476d1ce4e5b9 ^ (uint64(level)+1)*0x94d049bb133111eb
+	x ^= x >> 29
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 32
+	return uint16(x)
+}
+
+// EnableFaults arms metadata-fault injection: every translation-line write
+// may corrupt one entry stored on that line (a random bit of its packed
+// word flips), and every entry fetch verifies the per-entry checksum,
+// invoking rebuild on a mismatch and rewriting the repaired line through
+// the GTD. inj must be non-nil and rebuild non-nil.
+func (t *Table) EnableFaults(inj *fault.Injector, rebuild RebuildFunc) {
+	if inj == nil || rebuild == nil {
+		panic("imt: EnableFaults needs an injector and a rebuild callback")
+	}
+	fs := &faultState{inj: inj, rebuild: rebuild, sums: make([]uint16, len(t.entries))}
+	for i := range t.entries {
+		fs.sums[i] = EntrySum(uint64(i), t.entries[i], t.levels[i])
+	}
+	t.fs = fs
+}
+
+// FaultStats counts the metadata-fault events a table has seen.
+type FaultStats struct {
+	Corruptions uint64 // checksum mismatches detected
+	Rebuilds    uint64 // entries rebuilt from the inverse table
+	Mismatches  uint64 // rebuilds that fell back to a best-effort candidate
+}
+
+// FaultStats returns cumulative metadata-fault counters.
+func (t *Table) FaultStats() FaultStats {
+	if t.fs == nil {
+		return FaultStats{}
+	}
+	return FaultStats{
+		Corruptions: t.fs.corruptions,
+		Rebuilds:    t.fs.rebuilds,
+		Mismatches:  t.fs.mismatches,
+	}
+}
+
+// verify checks entry idx against its checksum and rebuilds it on a
+// mismatch. The repaired entry is written back to its translation line
+// through the GTD (one table write), modeling the controller persisting the
+// reconstruction.
+func (t *Table) verify(idx uint64) {
+	fs := t.fs
+	if EntrySum(idx, t.entries[idx], t.levels[idx]) == fs.sums[idx] {
+		return
+	}
+	fs.corruptions++
+	d, ok := fs.rebuild(idx, t.levels[idx], fs.sums[idx])
+	if !ok {
+		fs.mismatches++
+	}
+	t.entries[idx] = d
+	fs.sums[idx] = EntrySum(idx, d, t.levels[idx])
+	fs.rebuilds++
+	t.dir.Write(t.lineOf(idx)) // persist the repaired line
+}
+
+// corruptLine flips one random bit of one random entry stored on
+// translation line l — the injected fault a later fetch must detect.
+func (t *Table) corruptLine(l uint64) {
+	lo := l * t.entriesPerLine
+	hi := lo + t.entriesPerLine
+	if n := uint64(len(t.entries)); hi > n {
+		hi = n
+	}
+	victim := lo + uint64(t.fs.inj.Intn(int(hi-lo)))
+	bit := t.fs.inj.Intn(64)
+	t.entries[victim] ^= uint64(1) << bit
 }
 
 // New creates the table with the identity mapping at level 0. dir handles
@@ -86,8 +188,13 @@ func (t *Table) InitGran() uint64 { return t.initGran }
 func (t *Table) lineOf(idx uint64) uint64 { return idx / t.entriesPerLine }
 
 // Get returns entry idx without touching the device (used when the entry
-// is already cached on chip).
+// is already cached on chip). With metadata faults enabled every fetch
+// verifies the entry's checksum first — corrupted words are rebuilt before
+// they can propagate into a translation or an exchange.
 func (t *Table) Get(idx uint64) Entry {
+	if t.fs != nil {
+		t.verify(idx)
+	}
 	return Entry{D: t.entries[idx], Level: t.levels[idx]}
 }
 
@@ -108,10 +215,16 @@ func (t *Table) SetRange(base, span uint64, d uint64, level uint8) {
 	for i := base; i < base+span; i++ {
 		t.entries[i] = d
 		t.levels[i] = level
+		if t.fs != nil {
+			t.fs.sums[i] = EntrySum(i, d, level)
+		}
 	}
 	first, last := t.lineOf(base), t.lineOf(base+span-1)
 	for l := first; l <= last; l++ {
 		t.dir.Write(l)
+		if t.fs != nil && t.fs.inj.CorruptMetadata() {
+			t.corruptLine(l)
+		}
 	}
 }
 
@@ -130,9 +243,14 @@ func (t *Table) Granularity(idx uint64) uint64 {
 }
 
 // Translate maps a logical line address through the table (no device
-// accounting; callers account CMT/IMT traffic).
+// accounting; callers account CMT/IMT traffic). With metadata faults
+// enabled the entry is checksum-verified (and repaired if needed) before
+// use, like any other fetch.
 func (t *Table) Translate(lma uint64) uint64 {
 	idx := lma / t.initGran
+	if t.fs != nil {
+		t.verify(idx)
+	}
 	q := t.initGran << t.levels[idx]
 	return addr.Translate(lma, t.entries[idx], q)
 }
@@ -197,5 +315,29 @@ func (t *Table) Load(entries []uint64, levels []uint8) error {
 		t.entries, t.levels = old, oldLv
 		return err
 	}
+	if t.fs != nil {
+		for i := range t.entries {
+			t.fs.sums[i] = EntrySum(uint64(i), t.entries[i], t.levels[i])
+		}
+	}
 	return nil
+}
+
+// CorruptEntryForTest flips one bit of entry idx without updating its
+// checksum — the test hook for exercising the detection/rebuild path
+// deterministically.
+func (t *Table) CorruptEntryForTest(idx uint64) {
+	t.entries[idx] ^= 1 << 7
+}
+
+// Scrub verifies every entry against its checksum, rebuilding any corrupted
+// ones — the background-scrubber pass a controller runs before consistency
+// audits. No-op when metadata faults are disabled.
+func (t *Table) Scrub() {
+	if t.fs == nil {
+		return
+	}
+	for i := range t.entries {
+		t.verify(uint64(i))
+	}
 }

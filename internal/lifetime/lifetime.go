@@ -33,6 +33,10 @@ type Result struct {
 	HitRate       float64 // CMT hit rate (1 for non-tiered schemes)
 	Elapsed       time.Duration
 	TimedOut      bool // run hit MaxRequests before device death
+
+	// Fault-injection outcomes (zero on fault-free runs).
+	Reads         uint64 // device reads issued over the run
+	Uncorrectable uint64 // reads lost beyond the ECC budget
 }
 
 // String implements fmt.Stringer.
@@ -69,6 +73,7 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		}
 	}
 	st := lv.Stats()
+	ds := dev.Stats()
 	res := Result{
 		Scheme:        lv.Name(),
 		Workload:      opts.Workload,
@@ -79,6 +84,8 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		HitRate:       st.HitRate(),
 		Elapsed:       time.Since(start),
 		TimedOut:      dev.Alive(),
+		Reads:         ds.TotalReads,
+		Uncorrectable: ds.Uncorrectable,
 	}
 	if res.Ideal > 0 {
 		res.Normalized = float64(res.Served) / float64(res.Ideal)

@@ -9,11 +9,22 @@
 //
 // The device optionally stores a data word per line so integration tests can
 // verify that wear-leveling remapping never loses or corrupts user data.
+//
+// Beyond clean wear-out, the device models probabilistic faults (Config.Fault,
+// internal/fault) and the controller's recovery paths: transient write
+// failures are retried up to WriteRetries programming pulses and escalate to
+// a spare-line remap; stuck-at faults remap immediately; read-disturb bit
+// errors pass through an ECC model with an ECCBits correctable budget —
+// below the budget they are corrected silently, at the budget the line is
+// scrubbed to a spare, above it the read is an uncorrectable data loss
+// counted in Stats. With Config.Fault disabled none of these paths draw
+// randomness and the device behaves exactly as the clean model.
 package nvm
 
 import (
 	"fmt"
 
+	"nvmwear/internal/fault"
 	"nvmwear/internal/rng"
 )
 
@@ -42,6 +53,22 @@ type Config struct {
 	// PCM figures (~2 pJ/bit read, ~30 pJ/bit write on a 64 B line).
 	ReadEnergyPJ  float64
 	WriteEnergyPJ float64
+
+	// Fault enables probabilistic fault injection (internal/fault). The
+	// zero value disables it entirely: no RNG draws, behaviour identical
+	// to the clean wear-out model.
+	Fault fault.Config
+
+	// ECCBits is the per-line correctable-bit budget of the ECC model
+	// (default 4). A read-disturb event with fewer bit errors is corrected
+	// silently; exactly ECCBits errors correct but scrub the line to a
+	// spare; more are an uncorrectable loss.
+	ECCBits int
+
+	// WriteRetries bounds the programming-retry loop for transient write
+	// faults before the controller gives up on the line and remaps it to a
+	// spare (default 3).
+	WriteRetries int
 }
 
 // withDefaults fills zero fields.
@@ -64,6 +91,12 @@ func (c Config) withDefaults() Config {
 	if c.WriteEnergyPJ == 0 {
 		c.WriteEnergyPJ = 15360 // 30 pJ/bit * 512 bits
 	}
+	if c.ECCBits == 0 {
+		c.ECCBits = 4
+	}
+	if c.WriteRetries == 0 {
+		c.WriteRetries = 3
+	}
 	return c
 }
 
@@ -74,12 +107,22 @@ type Device struct {
 	writes    []uint32
 	endurance []uint32 // nil when uniform
 	data      []uint64
+	inj       *fault.Injector // nil when Config.Fault is disabled
 
 	sparesUsed  uint64
 	failedLines uint64
 	totalWrites uint64
 	totalReads  uint64
 	dead        bool
+
+	// Fault-recovery accounting (all zero in clean runs).
+	transientFaults  uint64 // transient write failures observed
+	writeRetries     uint64 // extra programming pulses issued
+	retryEscalations uint64 // retry budgets exhausted -> remap
+	stuckFaults      uint64 // hard stuck-at faults -> remap
+	correctedBits    uint64 // bit errors fixed by ECC
+	eccRemaps        uint64 // lines scrubbed to a spare at the ECC limit
+	uncorrectable    uint64 // reads lost beyond the ECC budget
 }
 
 // EnergyPJ returns the total access energy consumed so far in picojoules:
@@ -122,11 +165,18 @@ func New(cfg Config) *Device {
 				e = 2 * mean
 			}
 			d.endurance[i] = uint32(e)
+			// Truncation of tiny nominal endurances (< 4) can round to
+			// zero, which would make the line consume a spare on its very
+			// first write; every line serves at least one write.
+			if d.endurance[i] == 0 {
+				d.endurance[i] = 1
+			}
 		}
 	}
 	if cfg.TrackData {
 		d.data = make([]uint64, cfg.Lines)
 	}
+	d.inj = fault.NewInjector(cfg.Fault, fault.StreamDevice)
 	return d
 }
 
@@ -147,32 +197,128 @@ func (d *Device) lineEndurance(i uint64) uint32 {
 	return d.cfg.Endurance
 }
 
-// Write wears physical line pma by one write. A line serves exactly its
-// endurance in writes; the next write to a worn-out line transparently
-// consumes a spare (resetting the wear counter), and once spares are
-// exhausted the device is marked dead and the write is not served. Write
-// reports whether the write was served.
-func (d *Device) Write(pma uint64) bool {
-	if d.dead {
+// replaceLine retires physical line pma and replaces it with a spare,
+// resetting the wear counter. When the spare pool is exhausted the device
+// is marked dead and replaceLine reports false.
+func (d *Device) replaceLine(pma uint64) bool {
+	if d.sparesUsed >= d.cfg.SpareLines {
+		d.dead = true
 		return false
 	}
+	d.sparesUsed++
+	d.writes[pma] = 0
+	return true
+}
+
+// wearOne applies one programming pulse to line pma: the endurance check,
+// spare replacement on wear-out, and the wear/traffic counters.
+func (d *Device) wearOne(pma uint64) bool {
 	if d.writes[pma] >= d.lineEndurance(pma) {
 		d.failedLines++
-		if d.sparesUsed >= d.cfg.SpareLines {
-			d.dead = true
+		if !d.replaceLine(pma) {
 			return false
 		}
-		d.sparesUsed++
-		d.writes[pma] = 0
 	}
 	d.writes[pma]++
 	d.totalWrites++
 	return true
 }
 
-// Read records a read access (reads do not wear NVM cells).
+// Write wears physical line pma by one write. A line serves exactly its
+// endurance in writes; the next write to a worn-out line transparently
+// consumes a spare (resetting the wear counter), and once spares are
+// exhausted the device is marked dead and the write is not served. Write
+// reports whether the write was served.
+//
+// With fault injection enabled the write may additionally fail
+// transiently — retried up to WriteRetries extra pulses (each wearing the
+// line), then escalated to a spare-line remap — or hit a hard stuck-at
+// fault, which remaps immediately. Either escalation can exhaust the spare
+// pool and kill the device just like natural wear-out.
+func (d *Device) Write(pma uint64) bool {
+	if d.dead {
+		return false
+	}
+	if !d.wearOne(pma) {
+		return false
+	}
+	if d.inj == nil {
+		return true
+	}
+	switch d.inj.WriteFault() {
+	case fault.WriteOK:
+		return true
+	case fault.WriteStuck:
+		// The cell is permanently stuck: retire the line and rewrite the
+		// data on the replacement.
+		d.stuckFaults++
+		d.failedLines++
+		if !d.replaceLine(pma) {
+			return false
+		}
+		d.writes[pma]++
+		d.totalWrites++
+		return true
+	default: // fault.WriteTransient
+		d.transientFaults++
+		for r := 0; r < d.cfg.WriteRetries; r++ {
+			d.writeRetries++
+			if !d.wearOne(pma) { // each retry pulse wears the line again
+				return false
+			}
+			if !d.inj.RetryFails() {
+				return true
+			}
+		}
+		// Retry budget exhausted: give up on the line and remap.
+		d.retryEscalations++
+		d.failedLines++
+		if !d.replaceLine(pma) {
+			return false
+		}
+		d.writes[pma]++
+		d.totalWrites++
+		return true
+	}
+}
+
+// Read records a read access (reads do not wear NVM cells). With fault
+// injection enabled the read may observe disturb-induced bit errors, which
+// pass through the ECC model (see Config.ECCBits).
 func (d *Device) Read(pma uint64) {
 	d.totalReads++
+	if d.inj != nil {
+		d.injectRead(pma)
+	}
+}
+
+// injectRead applies the ECC model to one faulted read: k bit errors are
+// corrected silently below the ECC budget, scrub the line to a spare at the
+// budget, and are an uncorrectable data loss above it.
+func (d *Device) injectRead(pma uint64) {
+	if d.dead {
+		return
+	}
+	k := d.inj.ReadDisturb()
+	if k == 0 {
+		return
+	}
+	switch {
+	case k < d.cfg.ECCBits:
+		d.correctedBits += uint64(k)
+	case k == d.cfg.ECCBits:
+		// At the correction limit the controller treats the line as
+		// failing and scrubs the (corrected) data onto a spare.
+		d.correctedBits += uint64(k)
+		d.eccRemaps++
+		d.failedLines++
+		if d.replaceLine(pma) {
+			d.writes[pma]++ // the scrub rewrite
+			d.totalWrites++
+		}
+	default:
+		d.uncorrectable++
+	}
 }
 
 // WriteData stores a payload word at pma and wears the line.
@@ -186,6 +332,9 @@ func (d *Device) WriteData(pma, value uint64) bool {
 // ReadData returns the payload word at pma.
 func (d *Device) ReadData(pma uint64) uint64 {
 	d.totalReads++
+	if d.inj != nil {
+		d.injectRead(pma)
+	}
 	if d.data == nil {
 		return 0
 	}
@@ -219,6 +368,15 @@ type Stats struct {
 	MaxWear     uint32
 	MeanWear    float64
 	Dead        bool
+
+	// Fault-recovery counters (all zero when Config.Fault is disabled).
+	TransientWriteFaults uint64 // transient write failures observed
+	WriteRetries         uint64 // extra programming pulses issued
+	RetryEscalations     uint64 // retry budgets exhausted -> spare remap
+	StuckLineFaults      uint64 // hard stuck-at faults -> spare remap
+	CorrectedBits        uint64 // bit errors fixed silently by ECC
+	ECCRemaps            uint64 // lines scrubbed to a spare at the ECC limit
+	Uncorrectable        uint64 // reads lost beyond the ECC budget
 }
 
 // Stats computes current wear statistics.
@@ -230,6 +388,14 @@ func (d *Device) Stats() Stats {
 		SparesUsed:  d.sparesUsed,
 		SpareLines:  d.cfg.SpareLines,
 		Dead:        d.dead,
+
+		TransientWriteFaults: d.transientFaults,
+		WriteRetries:         d.writeRetries,
+		RetryEscalations:     d.retryEscalations,
+		StuckLineFaults:      d.stuckFaults,
+		CorrectedBits:        d.correctedBits,
+		ECCRemaps:            d.eccRemaps,
+		Uncorrectable:        d.uncorrectable,
 	}
 	var sum uint64
 	for _, w := range d.writes {

@@ -39,6 +39,12 @@ type Config struct {
 
 	TransHitNs  float64 // translation, mapping-cache hit (default 5)
 	TransMissNs float64 // translation, mapping-cache miss (default 55)
+
+	// RebuildLatNs is charged per metadata-entry rebuild (fault injection:
+	// checksum mismatch -> inverse-table scan + repaired-line rewrite).
+	// Default 1000 — the controller walks the reserved area, dwarfing a
+	// normal table access.
+	RebuildLatNs float64
 	// OnChipTransNs applies to schemes with their full table on chip
 	// (default 5; the Baseline scheme always pays 0).
 	OnChipTransNs float64
@@ -91,6 +97,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.OnChipTransNs == 0 {
 		c.OnChipTransNs = 5
+	}
+	if c.RebuildLatNs == 0 {
+		c.RebuildLatNs = 1000
 	}
 	if c.Requests == 0 {
 		c.Requests = 2 << 20
@@ -162,6 +171,9 @@ func Run(lv wl.Leveler, stream trace.Stream, cfg Config) Result {
 		default:
 			transNs = cfg.OnChipTransNs
 		}
+		// Metadata rebuilds stall the translation path itself: the request
+		// cannot proceed until the entry is reconstructed.
+		transNs += float64(st.MetaRebuilds-prev.MetaRebuilds) * cfg.RebuildLatNs
 		totalTrans += transNs
 
 		// Wear-leveling work performed by this access occupies the bank;

@@ -54,6 +54,9 @@ type Stats struct {
 	Remaps      uint64 // mapping-change events (gap moves, refreshes, region swaps)
 	CMTHits     uint64 // tiered schemes: on-chip mapping-cache hits
 	CMTMisses   uint64 // tiered schemes: mapping-cache misses (NVM table lookup)
+
+	MetaFaults   uint64 // mapping-table corruptions detected by checksum (fault injection)
+	MetaRebuilds uint64 // table entries rebuilt from the inverse table
 }
 
 // WriteOverhead returns extra writes as a fraction of demand writes — the

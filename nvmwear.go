@@ -28,6 +28,7 @@ import (
 
 	"nvmwear/internal/analysis"
 	"nvmwear/internal/core"
+	"nvmwear/internal/fault"
 	"nvmwear/internal/lifetime"
 	"nvmwear/internal/nvm"
 	"nvmwear/internal/sim"
@@ -96,6 +97,20 @@ type SystemConfig struct {
 	// verified (slower; tests use it, experiments usually do not).
 	TrackData bool
 
+	// Fault enables deterministic fault injection (internal/fault): device
+	// write/read faults on the NVM and — for tiered schemes — metadata
+	// corruption on the NVM-resident mapping table. The zero value disables
+	// injection entirely and leaves every simulation byte-identical to a
+	// fault-free build. When Fault.Seed is zero, Seed is used so a system's
+	// fault stream follows its experiment seed.
+	Fault fault.Config
+	// ECCBits is the per-line ECC correction budget for read-disturb errors
+	// (default 4; see nvm.Config.ECCBits).
+	ECCBits int
+	// WriteRetries bounds re-programming pulses after a transient write
+	// fault before the line escalates to a spare remap (default 3).
+	WriteRetries int
+
 	Seed uint64
 
 	// OnSample receives periodic hit-rate/region-size snapshots from
@@ -137,6 +152,9 @@ func (c SystemConfig) withDefaults() SystemConfig {
 	if c.CMTEntries == 0 {
 		c.CMTEntries = 32768
 	}
+	if c.Fault.Enabled() && c.Fault.Seed == 0 {
+		c.Fault.Seed = c.Seed
+	}
 	return c
 }
 
@@ -172,18 +190,22 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 			SettlingWindow:    cfg.SettlingWindow,
 			CheckEvery:        cfg.CheckEvery,
 			Seed:              cfg.Seed,
+			Fault:             cfg.Fault,
 			OnSample:          cfg.OnSample,
 		}
 		extra = coreCfg.DeviceLines() - cfg.Lines
 	}
 
 	dev := nvm.New(nvm.Config{
-		Lines:      cfg.Lines + extra,
-		SpareLines: cfg.SpareLines,
-		Endurance:  cfg.Endurance,
-		Variation:  cfg.Variation,
-		Seed:       cfg.Seed,
-		TrackData:  cfg.TrackData,
+		Lines:        cfg.Lines + extra,
+		SpareLines:   cfg.SpareLines,
+		Endurance:    cfg.Endurance,
+		Variation:    cfg.Variation,
+		Seed:         cfg.Seed,
+		TrackData:    cfg.TrackData,
+		Fault:        cfg.Fault,
+		ECCBits:      cfg.ECCBits,
+		WriteRetries: cfg.WriteRetries,
 	})
 
 	var lv wl.Leveler
@@ -264,6 +286,18 @@ type Stats struct {
 	SparesUsed    uint64
 	Dead          bool
 	OnChipBits    uint64
+
+	// Fault-injection and recovery counters (all zero when Fault is
+	// disabled).
+	TransientWriteFaults uint64 // transient write failures observed
+	WriteRetries         uint64 // extra programming pulses issued
+	RetryEscalations     uint64 // retry budgets exhausted -> spare remap
+	StuckLineFaults      uint64 // hard stuck-at faults -> spare remap
+	CorrectedBits        uint64 // read-disturb bits fixed silently by ECC
+	ECCRemaps            uint64 // lines scrubbed to a spare at the ECC limit
+	Uncorrectable        uint64 // reads lost beyond the ECC budget
+	MetaFaults           uint64 // mapping-table entries corrupted
+	MetaRebuilds         uint64 // entries rebuilt from the inverse table
 }
 
 // Stats returns current counters.
@@ -285,6 +319,16 @@ func (s *System) Stats() Stats {
 		SparesUsed:    ds.SparesUsed,
 		Dead:          ds.Dead,
 		OnChipBits:    s.lv.OverheadBits(),
+
+		TransientWriteFaults: ds.TransientWriteFaults,
+		WriteRetries:         ds.WriteRetries,
+		RetryEscalations:     ds.RetryEscalations,
+		StuckLineFaults:      ds.StuckLineFaults,
+		CorrectedBits:        ds.CorrectedBits,
+		ECCRemaps:            ds.ECCRemaps,
+		Uncorrectable:        ds.Uncorrectable,
+		MetaFaults:           st.MetaFaults,
+		MetaRebuilds:         st.MetaRebuilds,
 	}
 }
 

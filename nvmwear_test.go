@@ -241,7 +241,7 @@ func tinyScale() Scale {
 }
 
 func TestRunFig3Shape(t *testing.T) {
-	series := RunFig3(tinyScale())
+	series := must(RunFig3(tinyScale()))
 	if len(series) != 8 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -255,7 +255,7 @@ func TestRunFig3Shape(t *testing.T) {
 }
 
 func TestRunFig4Shape(t *testing.T) {
-	series := RunFig4(tinyScale())
+	series := must(RunFig4(tinyScale()))
 	if len(series) != 16 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -267,7 +267,7 @@ func TestRunFig4Shape(t *testing.T) {
 }
 
 func TestRunFig5Shape(t *testing.T) {
-	series := RunFig5(tinyScale())
+	series := must(RunFig5(tinyScale()))
 	if len(series) != 4 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -279,7 +279,7 @@ func TestRunFig5Shape(t *testing.T) {
 }
 
 func TestRunFig15SAWLWins(t *testing.T) {
-	series := RunFig15(tinyScale())
+	series := must(RunFig15(tinyScale()))
 	if len(series) != 6 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -307,7 +307,7 @@ func TestRunFig15SAWLWins(t *testing.T) {
 }
 
 func TestRunFig12Produces(t *testing.T) {
-	series := RunFig12(tinyScale())
+	series := must(RunFig12(tinyScale()))
 	if len(series) != 4 {
 		t.Fatalf("%d series", len(series))
 	}
@@ -324,7 +324,10 @@ func TestRunFig12Produces(t *testing.T) {
 }
 
 func TestRunFig13Produces(t *testing.T) {
-	series, avg := RunFig13(tinyScale())
+	series, avg, err := RunFig13(tinyScale())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(series) != 4 || len(avg) != 4 {
 		t.Fatalf("series %d avg %d", len(series), len(avg))
 	}
@@ -338,7 +341,7 @@ func TestRunFig13Produces(t *testing.T) {
 }
 
 func TestRunFig14Ordering(t *testing.T) {
-	res := RunFig14(tinyScale())
+	res := must(RunFig14(tinyScale()))
 	if len(res) != 3 {
 		t.Fatalf("%d panels", len(res))
 	}

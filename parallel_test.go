@@ -10,9 +10,23 @@ import (
 // Parallelism is — the property that makes -j N safe to default on.
 
 // renderFig renders a figure's series as the table wlsim would print, the
-// byte-exact artifact the determinism guarantee is stated over.
-func renderFig(series []Series) string {
+// byte-exact artifact the determinism guarantee is stated over. It accepts
+// a runner's (series, error) pair directly; tests here never expect an
+// error.
+func renderFig(series []Series, err error) string {
+	if err != nil {
+		panic(err)
+	}
 	return SeriesTable("determinism probe", "x", series, "%.6f").Render()
+}
+
+// must unwraps a figure runner's (value, error) pair in tests that expect
+// no error.
+func must[T any](v T, err error) T {
+	if err != nil {
+		panic(err)
+	}
+	return v
 }
 
 // withParallelism returns the test scale at the given worker count.
@@ -46,10 +60,7 @@ func TestSweepDeterministicAcrossWorkerCounts(t *testing.T) {
 	run := func(j int) string {
 		series, err := RunSweep(withParallelism(sc, j), PCMS,
 			[]uint64{4, 16}, []uint64{8, 32})
-		if err != nil {
-			t.Fatal(err)
-		}
-		return renderFig(series)
+		return renderFig(series, err)
 	}
 	if a, b := run(1), run(6); a != b {
 		t.Fatalf("sweep table differs between -j1 and -j6:\n%s\nvs\n%s", a, b)
@@ -94,7 +105,7 @@ func TestProgressReportsEveryJob(t *testing.T) {
 		calls.Add(1)
 		lastTotal.Store(int64(total))
 	}
-	RunFig15(sc)
+	must(RunFig15(sc))
 	// Fig 15: 2 endurances x 3 schemes x 4 periods = 24 jobs.
 	if calls.Load() != 24 || lastTotal.Load() != 24 {
 		t.Fatalf("progress: %d calls, total %d, want 24/24", calls.Load(), lastTotal.Load())
