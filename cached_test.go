@@ -1,0 +1,207 @@
+package nvmwear
+
+import (
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nvmwear/internal/store"
+)
+
+// This file holds the checkpoint/resume guarantees at the figure level: a
+// warm or partially-populated cache must reproduce the exact table a cold,
+// cache-less run prints — resuming is an optimisation, never a different
+// experiment.
+
+// openCache opens a result store in dir for the test, failing fast and
+// closing on cleanup.
+func openCache(t *testing.T, dir string) *store.Store {
+	t.Helper()
+	st, err := store.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Logf = t.Logf
+	t.Cleanup(func() { st.Close() })
+	return st
+}
+
+// cacheObjects lists the entry files a cached run left in dir.
+func cacheObjects(t *testing.T, dir string) []string {
+	t.Helper()
+	var paths []string
+	err := filepath.WalkDir(filepath.Join(dir, "objects"), func(p string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			paths = append(paths, p)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return paths
+}
+
+func TestCachedRunByteIdenticalToUncached(t *testing.T) {
+	sc := tinyScale()
+	uncached := renderFig(RunFig3(sc))
+
+	dir := t.TempDir()
+	st := openCache(t, dir)
+	sc.Cache = st
+	cold := renderFig(RunFig3(sc))
+	if cold != uncached {
+		t.Fatalf("cold cached table differs from uncached:\n--- uncached ---\n%s\n--- cached ---\n%s",
+			uncached, cold)
+	}
+	if st.Stats().Puts == 0 {
+		t.Fatal("cold cached run persisted nothing")
+	}
+	warm := renderFig(RunFig3(sc))
+	if warm != uncached {
+		t.Fatalf("warm cached table differs from uncached:\n--- uncached ---\n%s\n--- cached ---\n%s",
+			uncached, warm)
+	}
+	if hits := st.Stats().Hits; hits == 0 {
+		t.Fatal("warm run served no cache hits")
+	}
+}
+
+// TestPartialCacheResumesByteIdentical models a killed sweep: some results
+// persisted, some gone. The resumed run — at a different worker count — must
+// recompute only the gaps and still render the identical table.
+func TestPartialCacheResumesByteIdentical(t *testing.T) {
+	sc := tinyScale()
+	uncached := renderFig(RunFig3(withParallelism(sc, 1)))
+
+	dir := t.TempDir()
+	st := openCache(t, dir)
+	sc.Cache = st
+	if got := renderFig(RunFig3(withParallelism(sc, 4))); got != uncached {
+		t.Fatal("cold cached run differs from uncached")
+	}
+
+	// "Crash": drop every third persisted result.
+	objects := cacheObjects(t, dir)
+	if len(objects) < 3 {
+		t.Fatalf("only %d cache entries, expected one per job", len(objects))
+	}
+	for i, p := range objects {
+		if i%3 == 0 {
+			if err := os.Remove(p); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	before := st.Stats()
+	if got := renderFig(RunFig3(withParallelism(sc, 8))); got != uncached {
+		t.Fatalf("resumed table differs from uncached:\n--- uncached ---\n%s\n--- resumed ---\n%s",
+			uncached, got)
+	}
+	after := st.Stats()
+	if after.Hits == before.Hits {
+		t.Fatal("resume served no hits despite surviving entries")
+	}
+	if after.Misses == before.Misses {
+		t.Fatal("resume recomputed nothing despite deleted entries")
+	}
+}
+
+// TestCorruptCacheEntryRecoversEndToEnd flips bits in a persisted result;
+// the next run must quarantine it, recompute, and print the same table.
+func TestCorruptCacheEntryRecoversEndToEnd(t *testing.T) {
+	sc := tinyScale()
+	uncached := renderFig(RunFig3(sc))
+
+	dir := t.TempDir()
+	st := openCache(t, dir)
+	sc.Cache = st
+	if got := renderFig(RunFig3(sc)); got != uncached {
+		t.Fatal("cold cached run differs from uncached")
+	}
+
+	objects := cacheObjects(t, dir)
+	data, err := os.ReadFile(objects[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0x55
+	if err := os.WriteFile(objects[0], data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if got := renderFig(RunFig3(sc)); got != uncached {
+		t.Fatalf("table differs after corrupt entry:\n--- uncached ---\n%s\n--- got ---\n%s",
+			uncached, got)
+	}
+	stats := st.Stats()
+	if stats.Quarantined != 1 {
+		t.Fatalf("quarantined = %d, want 1", stats.Quarantined)
+	}
+	// The evidence file survives for inspection.
+	entries, err := os.ReadDir(filepath.Join(dir, "corrupt"))
+	if err != nil || len(entries) != 1 {
+		t.Fatalf("corrupt/ holds %d entries (err %v), want 1", len(entries), err)
+	}
+}
+
+// TestCacheKeysCarryVersionSalt pins the invalidation contract: every key
+// starts with resultsVersion, so bumping the salt orphans old entries
+// instead of serving stale results.
+func TestCacheKeysCarryVersionSalt(t *testing.T) {
+	sc := tinyScale()
+	key := sc.cacheKey("fig3", 7)
+	if !strings.HasPrefix(key, resultsVersion+"|") {
+		t.Fatalf("cache key %q lacks the %q salt prefix", key, resultsVersion)
+	}
+	other := sc.cacheKey("fig3", 8)
+	if key == other {
+		t.Fatal("distinct job indices share a cache key")
+	}
+	scaled := sc
+	scaled.Requests *= 2
+	if scaled.cacheKey("fig3", 7) == key {
+		t.Fatal("distinct scales share a cache key")
+	}
+	seeded := sc
+	seeded.Seed++
+	if seeded.cacheKey("fig3", 7) == key {
+		t.Fatal("distinct seeds share a cache key")
+	}
+}
+
+// TestOpenCacheWiring exercises Scale.OpenCache, the path wlsim uses.
+func TestOpenCacheWiring(t *testing.T) {
+	sc := tinyScale()
+	closer, err := sc.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cache != nil {
+		t.Fatal("OpenCache with empty CacheDir attached a store")
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+
+	sc.CacheDir = t.TempDir()
+	closer, err = sc.OpenCache()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Cache == nil {
+		t.Fatal("OpenCache left Cache nil")
+	}
+	if _, err := store.Open(sc.CacheDir); err == nil {
+		t.Fatal("open cache dir not locked against concurrent use")
+	}
+	if err := closer(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -34,6 +34,8 @@ import (
 	"time"
 
 	"nvmwear"
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/store"
 )
 
 func main() {
@@ -48,9 +50,24 @@ func main() {
 	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
+	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
+	cacheClear := flag.Bool("cache-clear", false, "empty the -cache store before running")
 	flag.Usage = usage
 	flag.Parse()
+	if *cacheClear && *cacheDir == "" {
+		fmt.Fprintln(os.Stderr, "-cache-clear requires -cache <dir>")
+		os.Exit(2)
+	}
 	if flag.NArg() != 1 {
+		// `-cache-clear -cache DIR` with no experiment is a valid
+		// maintenance invocation: empty the store and stop.
+		if *cacheClear && flag.NArg() == 0 {
+			if err := store.Clear(*cacheDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			return
+		}
 		usage()
 		os.Exit(2)
 	}
@@ -61,6 +78,39 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *workers
+
+	// -cache: open (or create) the crash-safe result store. Completed
+	// sweep jobs persist across process lifetimes, so an interrupted or
+	// killed run resumes with only the missing jobs re-executed. The
+	// store's lockfile serializes whole processes; a lock left by a dead
+	// process (SIGKILL) is reclaimed automatically.
+	var cache *store.Store
+	if *cacheDir != "" {
+		if *cacheClear {
+			if err := store.Clear(*cacheDir); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}
+		st, err := store.Open(*cacheDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		st.Logf = func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, format+"\n", args...)
+		}
+		cache = st
+		sc.CacheDir = *cacheDir
+		sc.Cache = st
+	}
+	closeCache := func() {
+		if cache != nil {
+			cache.Close()
+			cache = nil
+		}
+	}
+	defer closeCache()
 
 	// SIGINT/SIGTERM cancel the sweep through the scale's context; the
 	// completed prefix of the running figure is flushed as a partial table
@@ -94,8 +144,18 @@ func main() {
 			inner(done, total)
 		}
 	}
+	// Per-job wall times, fed by the pool after each completed job (zero
+	// for cache hits, which are excluded from the percentiles below).
+	var jobTimes []float64
+	sc.JobTime = func(elapsed time.Duration) {
+		if elapsed > 0 {
+			jobTimes = append(jobTimes, float64(elapsed)/float64(time.Millisecond))
+		}
+	}
 	// fail finishes an experiment that returned an error, after its partial
 	// results (if any) were emitted: interruption exits 130, anything else 1.
+	// The cache is closed first so its lock releases cleanly; completed jobs
+	// were already persisted individually, so the next run resumes from them.
 	fail := func(err error) {
 		if err == nil {
 			return
@@ -103,8 +163,10 @@ func main() {
 		fmt.Fprintf(os.Stderr, "\n%v\n", err)
 		if errors.Is(err, nvmwear.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, "partial results flushed")
+			closeCache()
 			os.Exit(130)
 		}
+		closeCache()
 		os.Exit(1)
 	}
 	emit := func(title, xName string, series []nvmwear.Series) {
@@ -133,6 +195,11 @@ func main() {
 		start := time.Now()
 		currentFig = name
 		jobsDone, jobsTotal = 0, 0
+		jobTimes = jobTimes[:0]
+		var cacheBefore store.Stats
+		if cache != nil {
+			cacheBefore = cache.Stats()
+		}
 		ok := true
 		switch name {
 		case "table1":
@@ -223,9 +290,11 @@ func main() {
 		if ok {
 			elapsed := time.Since(start)
 			if jobsTotal > 0 {
-				fmt.Printf("[%s completed in %v at scale %s: %d jobs, %.1f jobs/s, -j %d]\n\n",
+				fmt.Printf("[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
 					name, elapsed.Round(time.Millisecond), sc.Name,
-					jobsDone, float64(jobsDone)/elapsed.Seconds(), effectiveWorkers(sc.Parallelism))
+					jobsDone, float64(jobsDone)/elapsed.Seconds(),
+					jobTimeSummary(jobTimes), effectiveWorkers(sc.Parallelism),
+					cacheSummary(cache, cacheBefore))
 			} else {
 				fmt.Printf("[%s completed in %v at scale %s]\n\n", name, elapsed.Round(time.Millisecond), sc.Name)
 			}
@@ -288,6 +357,35 @@ func effectiveWorkers(j int) int {
 	return j
 }
 
+// jobTimeSummary renders the per-job wall-time percentiles of one sweep
+// (cache hits excluded — they measure the disk, not the simulator).
+func jobTimeSummary(ms []float64) string {
+	if len(ms) == 0 {
+		return ""
+	}
+	toDur := func(q float64) time.Duration {
+		return time.Duration(metrics.Quantile(ms, q) * float64(time.Millisecond)).Round(100 * time.Microsecond)
+	}
+	return fmt.Sprintf(", job p50 %v p99 %v", toDur(0.50), toDur(0.99))
+}
+
+// cacheSummary renders the result-store delta of one sweep: how many jobs
+// were served from cache, how many missed, and how many freshly computed
+// results were durably stored ("recomputed"). Quarantined counts corrupt
+// entries that were detected, moved aside, and recomputed.
+func cacheSummary(cache *store.Store, before store.Stats) string {
+	if cache == nil {
+		return ""
+	}
+	now := cache.Stats()
+	s := fmt.Sprintf(", cache: %d hits, %d misses, %d recomputed",
+		now.Hits-before.Hits, now.Misses-before.Misses, now.Puts-before.Puts)
+	if q := now.Quarantined - before.Quarantined; q > 0 {
+		s += fmt.Sprintf(", %d quarantined", q)
+	}
+	return s
+}
+
 // runAttack prints each scheme's RAA/BPA lifetimes and a verdict. The
 // seven schemes are scored concurrently on the scale's pool.
 func runAttack(sc nvmwear.Scale) {
@@ -310,14 +408,23 @@ func runAttack(sc nvmwear.Scale) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `wlsim regenerates the SAWL paper's tables and figures.
 
-usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-q] <experiment>
+usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-q]
+             [-cache DIR [-cache-clear]] <experiment>
 
 Sweeps run as -j parallel jobs (default: all cores; each sweep reports
-wall-clock and jobs/s). Tables are byte-identical for every -j value:
-jobs are independent, results are collected in submission order, and job
-i is seeded deterministically from (seed, i). -q silences the per-job
-progress counter printed to stderr. SIGINT/SIGTERM cancel the running
-sweep, flush the completed points as a partial table, and exit 130.
+wall-clock, jobs/s and per-job p50/p99). Tables are byte-identical for
+every -j value: jobs are independent, results are collected in submission
+order, and job i is seeded deterministically from (seed, i). -q silences
+the per-job progress counter printed to stderr. SIGINT/SIGTERM cancel the
+running sweep, flush the completed points as a partial table, and exit 130.
+
+-cache DIR memoizes completed sweep jobs in a crash-safe disk store:
+re-running the same experiment re-executes only the missing jobs, so an
+interrupted (even SIGKILLed) sweep resumes where it stopped and emits the
+identical table. Corrupt entries are detected, quarantined and recomputed,
+never trusted. -cache-clear empties the store first (alone, with no
+experiment, it just empties and exits). Each sweep's summary line reports
+cache hits/misses/recomputed.
 
 experiments:
   table1    simulated system configuration (Table 1)

@@ -2,8 +2,10 @@ package main
 
 import (
 	"bytes"
+	"fmt"
 	"os"
 	osexec "os/exec"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
@@ -66,6 +68,99 @@ func TestSIGINTFlushesPartialTable(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "interrupted") {
 		t.Errorf("no interruption notice on stderr:\n%s", stderr.String())
+	}
+}
+
+// tableLines strips the per-sweep summary ("[fault completed in ...]")
+// from captured stdout, leaving only the experiment tables — the bytes the
+// determinism and resume guarantees are stated over. Summary lines report
+// wall-clock and cache statistics, which legitimately differ between runs.
+func tableLines(stdout string) string {
+	var keep []string
+	for _, line := range strings.Split(stdout, "\n") {
+		if strings.HasPrefix(line, "[") {
+			continue
+		}
+		keep = append(keep, line)
+	}
+	return strings.Join(keep, "\n")
+}
+
+// wlsim re-executes the test binary as the wlsim CLI and returns its
+// captured stdout/stderr and exit error.
+func wlsim(t *testing.T, env []string, args ...string) (string, string, error) {
+	t.Helper()
+	cmd := osexec.Command(os.Args[0], args...)
+	cmd.Env = append(append(os.Environ(), "WLSIM_RUN_MAIN=1"), env...)
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	err := cmd.Run()
+	return stdout.String(), stderr.String(), err
+}
+
+// TestSIGKILLedSweepResumesByteIdentical is the crash-safety acceptance
+// test: SIGKILL a cached sweep mid-run (no signal handler runs, the store
+// lock is left behind), then re-run. The resumed process must reclaim the
+// stale lock, serve the persisted jobs as cache hits, recompute only the
+// rest, and print byte-identical tables to a cold cache-less run.
+func TestSIGKILLedSweepResumesByteIdentical(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal test")
+	}
+	reference, _, err := wlsim(t, nil, "-scale", "small", "-j", "4", "-q", "fault")
+	if err != nil {
+		t.Fatalf("uncached reference run: %v", err)
+	}
+
+	dir := t.TempDir()
+	// The per-job delay stretches the 15-job sweep past the kill point so
+	// some jobs are persisted and some are not.
+	cmd := osexec.Command(os.Args[0], "-scale", "small", "-j", "4", "-q", "-cache", dir, "fault")
+	cmd.Env = append(os.Environ(), "WLSIM_RUN_MAIN=1", "WLSIM_JOB_DELAY_MS=300")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(3 * time.Second)
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: nothing runs, nothing is flushed
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	stdout, stderr, err := wlsim(t, nil, "-scale", "small", "-j", "4", "-q", "-cache", dir, "fault")
+	if err != nil {
+		t.Fatalf("resume run failed: %v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "reclaiming stale lock") {
+		t.Errorf("no stale-lock reclaim notice on stderr:\n%s", stderr)
+	}
+	if got, want := tableLines(stdout), tableLines(reference); got != want {
+		t.Errorf("resumed tables differ from uncached run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	var hits, misses, recomputed int
+	if _, err := fmt.Sscanf(stdout[strings.Index(stdout, "cache: "):],
+		"cache: %d hits, %d misses, %d recomputed", &hits, &misses, &recomputed); err != nil {
+		t.Fatalf("no cache summary in stdout:\n%s", stdout)
+	}
+	if hits < 1 {
+		t.Errorf("resume served %d cache hits, want >= 1 (kill landed after %d jobs persisted?)", hits, hits)
+	}
+	if hits+misses != 15 {
+		t.Errorf("cache summary covers %d jobs, want 15", hits+misses)
+	}
+
+	// -cache-clear with no experiment is the maintenance mode: empty the
+	// store and exit 0. A rerun after it starts cold again.
+	if _, stderr, err := wlsim(t, nil, "-cache", dir, "-cache-clear"); err != nil {
+		t.Fatalf("-cache-clear maintenance run: %v\nstderr:\n%s", err, stderr)
+	}
+	entries, err := os.ReadDir(filepath.Join(dir, "objects"))
+	if err == nil {
+		for _, e := range entries {
+			sub, _ := os.ReadDir(filepath.Join(dir, "objects", e.Name()))
+			if len(sub) != 0 {
+				t.Fatal("-cache-clear left entries behind")
+			}
+		}
 	}
 }
 

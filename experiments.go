@@ -11,6 +11,8 @@ import (
 	"nvmwear/internal/exec"
 	"nvmwear/internal/metrics"
 	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/store"
 )
 
 // wearGini computes the Gini coefficient of the device's per-line wear.
@@ -178,6 +180,73 @@ type Scale struct {
 	// wires SIGINT/SIGTERM to this so an interrupted sweep still flushes a
 	// partial table. A nil Context never cancels.
 	Context context.Context
+
+	// CacheDir, when non-empty, names the on-disk result store that
+	// memoizes completed sweep jobs across process lifetimes (cmd/wlsim's
+	// -cache flag). Call OpenCache to open it into Cache; runners consult
+	// only Cache, so a CacheDir that was never opened stays inert.
+	CacheDir string
+
+	// Cache is the opened result store. When non-nil, every sweep job is
+	// keyed by a digest of (results version salt, scale parameters,
+	// figure, job index, seed stream) and completed results are persisted
+	// write-atomically; a later run — including one resumed after SIGINT
+	// or SIGKILL — re-executes only the missing jobs. Cache hits bypass
+	// the workers but still drive Progress and JobTime, so telemetry
+	// stays truthful. See EXPERIMENTS.md for the keying/invalidation
+	// contract.
+	Cache ResultCache
+
+	// JobTime, when non-nil, receives each completed sweep job's wall
+	// time after Progress (zero for cache hits). Calls are serialized by
+	// the pool; cmd/wlsim aggregates these into p50/p99 summaries.
+	JobTime func(elapsed time.Duration)
+}
+
+// ResultCache memoizes completed sweep jobs across runs. It mirrors
+// internal/exec.Store; internal/store.Store is the durable, crash-safe
+// implementation behind Scale.CacheDir.
+type ResultCache interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
+
+// OpenCache opens (creating it if needed) the crash-safe result store at
+// sc.CacheDir and installs it as sc.Cache, returning a close function that
+// releases the store's cross-process lock. A Scale without a CacheDir gets
+// a no-op closer. Opening fails with *store.BusyError while another live
+// process holds the same cache directory.
+func (sc *Scale) OpenCache() (func() error, error) {
+	if sc.CacheDir == "" {
+		return func() error { return nil }, nil
+	}
+	st, err := store.Open(sc.CacheDir)
+	if err != nil {
+		return nil, err
+	}
+	sc.Cache = st
+	return st.Close, nil
+}
+
+// resultsVersion salts every cache key with the simulation code version.
+// Bump it whenever a change alters any experiment's numeric output (new
+// RNG draws, changed defaults, fixed simulation bugs): entries under the
+// old salt simply stop matching and age out, so a stale cache can never
+// leak pre-change results into post-change tables.
+const resultsVersion = "wlsim-results-v1"
+
+// cacheKey builds the canonical cache key of one sweep job: the results
+// version salt, every Scale parameter that can influence a result, the
+// figure identity (which must itself encode any non-Scale sweep
+// parameters), the job index, and the job's derived seed stream. The
+// store content-addresses the string, so readability costs nothing.
+func (sc Scale) cacheKey(fig string, i int) string {
+	return fmt.Sprintf(
+		"%s|fig=%s|job=%d|seed=%d|stream=%#x|attack=%d/%d|spec=%d/%d/%d|trace=%d|req=%d|cmt=%d|spare=%d",
+		resultsVersion, fig, i, sc.Seed, rng.SeedStream(sc.Seed, uint64(i)),
+		sc.AttackLines, sc.AttackEndurance,
+		sc.SpecLines, sc.SpecEndurance, sc.SpecPeriod,
+		sc.TraceLines, sc.Requests, sc.CMTEntries, sc.SpareFrac)
 }
 
 // ScaleSmall regenerates every figure in seconds to a few minutes — the
@@ -270,8 +339,28 @@ func (sc Scale) traceLines() uint64 {
 // per-job seeds derived from Seed.
 func (sc Scale) pool() *exec.Pool {
 	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed, Context: sc.Context}
-	if sc.Progress != nil {
-		p.OnDone = func(done, total int, _ time.Duration) { sc.Progress(done, total) }
+	if sc.Progress != nil || sc.JobTime != nil {
+		p.OnDone = func(done, total int, elapsed time.Duration) {
+			if sc.Progress != nil {
+				sc.Progress(done, total)
+			}
+			if sc.JobTime != nil {
+				sc.JobTime(elapsed)
+			}
+		}
+	}
+	return p
+}
+
+// cachedPool is pool() plus the sweep-level refinements: the disk result
+// cache keyed under the figure identity (when Scale.Cache is open) and an
+// optional longest-job-first cost hint.
+func (sc Scale) cachedPool(fig string, cost func(i int) float64) *exec.Pool {
+	p := sc.pool()
+	p.Cost = cost
+	if sc.Cache != nil && fig != "" {
+		p.Store = sc.Cache
+		p.Key = func(i int) string { return sc.cacheKey(fig, i) }
 	}
 	return p
 }
@@ -282,19 +371,27 @@ func (sc Scale) pool() *exec.Pool {
 var ErrInterrupted = errors.New("nvmwear: sweep interrupted")
 
 // runJobs fans n experiment jobs out on the scale's pool and returns their
-// results in submission order. If the scale's context is cancelled mid-
-// sweep, the longest completed prefix of results is returned together with
-// an error wrapping ErrInterrupted; any other job error is returned as-is
-// with the lowest job index winning (deterministic regardless of
-// scheduling).
+// results in submission order. fig is the sweep's cache identity (see
+// cacheKey): it must be unique per figure and must encode every sweep
+// parameter that is not already part of Scale. If the scale's context is
+// cancelled mid-sweep, the longest completed prefix of results is returned
+// together with an error wrapping ErrInterrupted; any other job error is
+// returned as-is with the earliest-dispatched failing job winning
+// (deterministic regardless of scheduling).
 //
 // Seeding convention: lifetime sweeps pass the job's derived seed into the
 // workload and scheme they build, giving every point an independent random
 // stream regardless of worker count. Fixed-length trace figures (12-14, 17)
 // instead keep sc.Seed so all panels of one figure observe the identical
 // request stream — those figures compare configurations on the same trace.
-func runJobs[T any](sc Scale, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	out, err := exec.Map(sc.pool(), n, fn)
+func runJobs[T any](sc Scale, fig string, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	return runJobsCost(sc, fig, nil, n, fn)
+}
+
+// runJobsCost is runJobs with a longest-job-first cost hint: jobs are
+// dispatched in descending cost order while results keep submission order.
+func runJobsCost[T any](sc Scale, fig string, cost func(i int) float64, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	out, err := exec.Map(sc.cachedPool(fig, cost), n, fn)
 	var ce *exec.CanceledError
 	if errors.As(err, &ce) {
 		done := 0

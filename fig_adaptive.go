@@ -78,7 +78,7 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 // soplex request stream, as the serial loops did.
 func RunFig12(sc Scale) ([]Series, error) {
 	windows := scaledWindows(sc)
-	return runJobs(sc, len(windows), func(i int, _ uint64) (Series, error) {
+	return runJobs(sc, "fig12", len(windows), func(i int, _ uint64) (Series, error) {
 		sow := windows[i]
 		hit, _, _, err := runTrace(sc, "soplex", sow, sc.Requests/4)
 		if err != nil {
@@ -95,11 +95,13 @@ func RunFig12(sc Scale) ([]Series, error) {
 // Parallelized like RunFig12, sharing sc.Seed across jobs.
 func RunFig13(sc Scale) ([]Series, map[string]float64, error) {
 	windows := scaledWindows(sc)
+	// Exported fields: job results round-trip through the gob-encoded
+	// result cache (internal/exec).
 	type point struct {
-		size   Series
-		avgHit float64
+		Size   Series
+		AvgHit float64
 	}
-	res, err := runJobs(sc, len(windows), func(i int, _ uint64) (point, error) {
+	res, err := runJobs(sc, "fig13", len(windows), func(i int, _ uint64) (point, error) {
 		ssw := windows[i]
 		_, size, avgHit, err := runTrace(sc, "soplex", sc.Requests/8, ssw)
 		if err != nil {
@@ -111,8 +113,8 @@ func RunFig13(sc Scale) ([]Series, map[string]float64, error) {
 	var out []Series
 	avg := make(map[string]float64)
 	for _, p := range res {
-		out = append(out, p.size)
-		avg[p.size.Label] = p.avgHit
+		out = append(out, p.Size)
+		avg[p.Size.Label] = p.AvgHit
 	}
 	return out, avg, err
 }
@@ -167,19 +169,20 @@ func RunFig14(sc Scale) ([]Fig14Result, error) {
 	benches := []string{"bzip2", "cactusADM", "gcc"}
 	// Per-bench job triplet: NWL-4 avg, NWL-64 avg, SAWL trace.
 	const perBench = 3
+	// Exported fields: results round-trip through the gob result cache.
 	type measure struct {
-		avg       float64
-		hit, size Series
+		Avg       float64
+		Hit, Size Series
 	}
-	res, err := runJobs(sc, perBench*len(benches), func(i int, _ uint64) (measure, error) {
+	res, err := runJobs(sc, "fig14", perBench*len(benches), func(i int, _ uint64) (measure, error) {
 		bench := benches[i/perBench]
 		switch i % perBench {
 		case 0:
 			avg, err := runNWLHitRate(sc, bench, 4)
-			return measure{avg: avg}, err
+			return measure{Avg: avg}, err
 		case 1:
 			avg, err := runNWLHitRate(sc, bench, 64)
-			return measure{avg: avg}, err
+			return measure{Avg: avg}, err
 		default:
 			hit, size, avg, err := runTrace(sc, bench, sc.Requests/128, sc.Requests/128)
 			if err != nil {
@@ -187,7 +190,7 @@ func RunFig14(sc Scale) ([]Fig14Result, error) {
 			}
 			hit.Label = "SAWL " + bench
 			size.Label = "SAWL " + bench
-			return measure{avg: avg, hit: hit, size: size}, nil
+			return measure{Avg: avg, Hit: hit, Size: size}, nil
 		}
 	})
 	var out []Fig14Result
@@ -198,11 +201,11 @@ func RunFig14(sc Scale) ([]Fig14Result, error) {
 		nwl4, nwl64, sawl := res[bi*perBench], res[bi*perBench+1], res[bi*perBench+2]
 		out = append(out, Fig14Result{
 			Bench:      bench,
-			AvgNWL4:    nwl4.avg,
-			AvgNWL64:   nwl64.avg,
-			AvgSAWL:    sawl.avg,
-			HitRate:    sawl.hit,
-			RegionSize: sawl.size,
+			AvgNWL4:    nwl4.Avg,
+			AvgNWL64:   nwl64.Avg,
+			AvgSAWL:    sawl.Avg,
+			HitRate:    sawl.Hit,
+			RegionSize: sawl.Size,
 		})
 	}
 	return out, err

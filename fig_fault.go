@@ -1,6 +1,8 @@
 package nvmwear
 
 import (
+	"fmt"
+
 	"nvmwear/internal/fault"
 )
 
@@ -34,11 +36,15 @@ var FaultSchemes = []SchemeKind{PCMS, NWL, SAWL}
 func RunFault(sc Scale) (life, loss []Series, err error) {
 	schemes := FaultSchemes
 	rates := FaultRates
+	// Exported fields: results round-trip through the gob result cache.
+	// The scheme and rate lists are sweep parameters outside Scale, so
+	// they are folded into the cache identity.
+	fig := fmt.Sprintf("fault:%v:%v", schemes, rates)
 	type point struct {
-		life    float64
-		lossPPM float64
+		Life    float64
+		LossPPM float64
 	}
-	res, err := runJobs(sc, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
+	res, err := runJobs(sc, fig, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
 		scheme, rate := schemes[i/len(rates)], rates[i%len(rates)]
 		sys, err := NewSystem(SystemConfig{
 			Scheme: scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
@@ -61,9 +67,9 @@ func RunFault(sc Scale) (life, loss []Series, err error) {
 		if err != nil {
 			return point{}, err
 		}
-		p := point{life: 100 * r.Normalized}
+		p := point{Life: 100 * r.Normalized}
 		if r.Reads > 0 {
-			p.lossPPM = float64(r.Uncorrectable) / float64(r.Reads) * 1e6
+			p.LossPPM = float64(r.Uncorrectable) / float64(r.Reads) * 1e6
 		}
 		return p, nil
 	})
@@ -75,8 +81,8 @@ func RunFault(sc Scale) (life, loss []Series, err error) {
 	}
 	for i, p := range res {
 		si, ri := i/len(rates), i%len(rates)
-		life[si].Append(rates[ri], p.life)
-		loss[si].Append(rates[ri], p.lossPPM)
+		life[si].Append(rates[ri], p.Life)
+		loss[si].Append(rates[ri], p.LossPPM)
 	}
 	return life, loss, err
 }

@@ -47,7 +47,11 @@ func Fig17Labels(k SchemeKind) string {
 func RunFig17(sc Scale) ([]Series, error) {
 	names := workload.Names()
 	schemes := Fig17Schemes
-	results, err := runJobs(sc, (1+len(schemes))*len(names),
+	// Benchmark footprint drives per-job wall time (the paper's ~10x
+	// spread), so it is the longest-job-first hint; the layout is
+	// benchmark-major within each scheme row, which benchFootprintCost
+	// assumes.
+	results, err := runJobsCost(sc, "fig17", benchFootprintCost(names), (1+len(schemes))*len(names),
 		func(i int, _ uint64) (TimingResult, error) {
 			scheme, name := Baseline, names[i%len(names)]
 			if i >= len(names) {

@@ -95,7 +95,7 @@ func RunFig3(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, "fig3", len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		repeats := j.period * (sc.AttackLines / j.regions) / 2
 		if repeats == 0 {
@@ -137,7 +137,7 @@ func RunFig4(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, "fig4", len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		q := sc.AttackLines / j.regions
 		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
@@ -180,7 +180,7 @@ func RunFig5(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, "fig5", len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		regions := regionsForBudget(j.scheme, j.budget, sc.AttackLines)
 		q := sc.AttackLines / regions
@@ -244,7 +244,7 @@ func RunFig15(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, len(jobs), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobs(sc, "fig15", len(jobs), func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		if j.scheme == SAWL {
 			sys, err := NewSystem(SystemConfig{
@@ -310,9 +310,15 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 	out := make([]Series, len(schemes))
 	endurance := sc.SpecEndurance
 
+	fig := "fig16a"
+	if !coarse {
+		fig = "fig16b"
+	}
 	// One job per (scheme, benchmark) lifetime run, scheme-major so the
-	// results slice regroups directly into series.
-	norms, err := runJobs(sc, len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
+	// results slice regroups directly into series. Benchmarks vary ~10x in
+	// run time with footprint, so the footprint is the longest-job-first
+	// hint that keeps the parallel tail short.
+	norms, err := runJobsCost(sc, fig, benchFootprintCost(names), len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
 		scheme, name := schemes[i/len(names)], names[i%len(names)]
 		cfg := SystemConfig{
 			Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
@@ -359,6 +365,20 @@ func hmeanPct(vals []float64) float64 {
 	return metrics.HarmonicMean(vals) / 100
 }
 
+// benchFootprintCost ranks benchmark-major job lists by the benchmark's
+// canonical footprint — the dominant driver of per-job wall time in the
+// SPEC sweeps (Figs 16 and 17). Job i is assumed to target
+// names[i%len(names)].
+func benchFootprintCost(names []string) func(i int) float64 {
+	pages := make([]float64, len(names))
+	for bi, name := range names {
+		if p, ok := workload.ProfileByName(name); ok {
+			pages[bi] = float64(p.Pages)
+		}
+	}
+	return func(i int) float64 { return pages[i%len(pages)] }
+}
+
 // RunAttackScore measures one scheme's normalized lifetime under RAA and a
 // trigger-aware BPA at the attack scale, returning the Sec 2.2-style
 // resilience verdict.
@@ -403,7 +423,10 @@ func attackScore(sc Scale, kind SchemeKind, seed uint64) (analysis.AttackScore, 
 // RunAttackScores fans RunAttackScore out over the given schemes on the
 // scale's worker pool, returning one score per scheme in input order.
 func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, error) {
-	return exec.Map(sc.pool(), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
+	// The scheme list is a sweep parameter outside Scale, so it is part of
+	// the cache identity.
+	fig := fmt.Sprintf("attack:%v", kinds)
+	return exec.Map(sc.cachedPool(fig, nil), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
 		return attackScore(sc, kinds[i], seed)
 	})
 }
@@ -413,7 +436,8 @@ func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, erro
 // `sweep` experiment. Each series is one period; X is the region size in
 // lines.
 func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Series, error) {
-	norms, err := exec.Map(sc.pool(), len(periods)*len(regionLines),
+	fig := fmt.Sprintf("sweep:%s:q%v:p%v", kind, regionLines, periods)
+	norms, err := exec.Map(sc.cachedPool(fig, nil), len(periods)*len(regionLines),
 		func(i int, seed uint64) (float64, error) {
 			period, q := periods[i/len(regionLines)], regionLines[i%len(regionLines)]
 			sys, err := NewSystem(SystemConfig{

@@ -19,19 +19,47 @@
 // error (Retryable, or a timeout) are re-attempted with exponential backoff
 // up to Pool.Retries times. Cancellation reports which jobs completed via
 // *CanceledError so callers can flush partial results.
+//
+// Two optional refinements change how jobs are scheduled without changing
+// what Map returns:
+//
+//   - Pool.Store + Pool.Key memoize job results in a durable store
+//     (internal/store). Jobs whose key already resolves to a stored result
+//     bypass the workers entirely — the cached value is decoded straight
+//     into the result slice and OnDone still fires (elapsed 0), so
+//     progress and telemetry stay truthful. Completed jobs are written
+//     back best-effort; a failed write only means a future recompute.
+//     This is what turns an interrupted sweep into a checkpoint: the next
+//     run re-executes only the missing jobs.
+//   - Pool.Cost dispatches pending jobs longest-first, tightening the
+//     parallel tail when job durations vary widely. Results are still
+//     delivered in submission order.
 package exec
 
 import (
+	"bytes"
 	"context"
+	"encoding/gob"
 	"errors"
 	"fmt"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"nvmwear/internal/rng"
 )
+
+// Store memoizes completed job results across process lifetimes. Get
+// returns the payload stored under key and whether one exists; Put stores
+// a payload durably. Implementations must verify integrity internally (a
+// corrupt entry reads as a miss, never as data) — internal/store.Store is
+// the canonical implementation.
+type Store interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, payload []byte) error
+}
 
 // Pool describes how a sweep executes. The zero value is usable: every
 // available core, base seed 0, no progress reporting, no cancellation, no
@@ -70,6 +98,27 @@ type Pool struct {
 
 	// Sleep replaces time.Sleep for backoff waits (test hook).
 	Sleep func(time.Duration)
+
+	// Store, together with Key, memoizes job results across runs. Before
+	// dispatching, Map probes the store for every job's key; hits are
+	// decoded into the result slice without running the job (OnDone fires
+	// with elapsed 0). Jobs that do run have their results written back.
+	// Results are encoded with encoding/gob, so the job's result type must
+	// be gob-encodable (exported fields). A nil Store disables caching.
+	Store Store
+
+	// Key returns job i's cache key. Jobs whose key is "" are never
+	// cached. A nil Key disables caching. The key must capture everything
+	// the job's result depends on (parameters, seed, code version) — a
+	// stale key silently resurrects stale results.
+	Key func(i int) string
+
+	// Cost, when non-nil, supplies a relative duration hint per job; Map
+	// dispatches pending jobs in descending Cost order (ties keep
+	// submission order) so long jobs start first and the parallel tail
+	// stays short. Purely a scheduling hint: results, seeds, and error
+	// determinism are unaffected.
+	Cost func(i int) float64
 }
 
 // workers resolves the effective worker count for n jobs.
@@ -186,14 +235,16 @@ func (e *CanceledError) Unwrap() error { return e.Err }
 // index order. fn receives the job index and the job's derived seed.
 //
 // If a job returns a non-retryable error, remaining unstarted jobs are
-// skipped and the error with the lowest job index is returned
-// (deterministic regardless of scheduling). Retryable errors (Retryable,
-// *TimeoutError) are re-attempted up to Retries times with exponential
-// backoff before counting as failure. If the pool's context is cancelled,
-// Map stops dispatching, abandons in-flight jobs, and returns a
-// *CanceledError whose Done slice marks the valid entries of the result
-// slice. If a job panics, Map re-panics on the calling goroutine with a
-// *PanicError wrapping the original value and the worker's stack.
+// skipped and the error of the earliest-dispatched failing job is returned
+// (deterministic regardless of scheduling; with no Cost hint, dispatch
+// order is submission order, so the lowest failing index wins). Retryable
+// errors (Retryable, *TimeoutError) are re-attempted up to Retries times
+// with exponential backoff before counting as failure. If the pool's
+// context is cancelled, Map stops dispatching, abandons in-flight jobs,
+// and returns a *CanceledError whose Done slice marks the valid entries of
+// the result slice. If a job panics, Map re-panics on the calling
+// goroutine with a *PanicError wrapping the original value and the
+// worker's stack.
 func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, nil
@@ -202,22 +253,64 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 	results := make([]T, n)
 	doneFlags := make([]bool, n)
 	var (
-		next     atomic.Int64 // index dispenser
+		next     atomic.Int64 // dispatch-position dispenser
 		stop     atomic.Bool  // set on first error/panic: skip unstarted jobs
-		mu       sync.Mutex   // guards done/firstErr/errIndex/pan and OnDone calls
+		mu       sync.Mutex   // guards done/firstErr/errPos/pan and OnDone calls
 		done     int
 		firstErr error
-		errIndex int = n
 		pan      *PanicError
+		panPos   int
 		wg       sync.WaitGroup
 	)
 	next.Store(-1)
+
+	// Cache prepass: resolve every job whose result is already stored,
+	// firing OnDone for each so progress stays truthful, then collect the
+	// jobs that actually need to run. Runs before the workers start, so
+	// the shared state needs no locking yet.
+	caching := p.Store != nil && p.Key != nil
+	pending := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if caching && ctx.Err() == nil {
+			if key := p.Key(i); key != "" {
+				if data, ok := p.Store.Get(key); ok {
+					if v, ok := decodeResult[T](data); ok {
+						results[i] = v
+						doneFlags[i] = true
+						done++
+						if p.OnDone != nil {
+							p.OnDone(done, n, 0)
+						}
+						continue
+					}
+					// Stored bytes that no longer decode as T (result-type
+					// drift the key salt missed): recompute and overwrite.
+				}
+			}
+		}
+		pending = append(pending, i)
+	}
+	errPos := len(pending)
+
+	// Longest-job-first: dispatch pending jobs by descending cost hint.
+	// Stable, so equal-cost jobs keep submission order.
+	if p.Cost != nil && len(pending) > 1 {
+		sort.SliceStable(pending, func(a, b int) bool {
+			return p.Cost(pending[a]) > p.Cost(pending[b])
+		})
+	}
 
 	// attempt runs fn once for job i, enforcing JobTimeout and context
 	// cancellation. When either can interrupt the attempt, fn runs on its
 	// own goroutine and writes its result through a channel — an abandoned
 	// attempt therefore never touches the shared results slice.
 	attempt := func(i int, seed uint64) (T, error) {
+		if err := ctx.Err(); err != nil {
+			// Cancelled between dispatch and attempt (or during a backoff
+			// wait): don't start work that would immediately be abandoned.
+			var zero T
+			return zero, context.Cause(ctx)
+		}
 		if p.JobTimeout <= 0 && ctx.Done() == nil {
 			return fn(i, seed)
 		}
@@ -242,21 +335,40 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 			defer t.Stop()
 			timeout = t.C
 		}
-		var zero T
-		select {
-		case out := <-ch:
+		// take consumes a delivered outcome, re-raising job panics.
+		take := func(out outcome) (T, error) {
 			if out.pan != nil {
 				panic(out.pan.Value) // re-raised; worker's recover records it
 			}
 			return out.v, out.err
+		}
+		var zero T
+		select {
+		case out := <-ch:
+			return take(out)
 		case <-timeout:
+			select {
+			case out := <-ch:
+				// The job finished in the same instant the timer fired:
+				// completed work beats an arbitrary tie-break.
+				return take(out)
+			default:
+			}
 			return zero, &TimeoutError{Index: i, Timeout: p.JobTimeout}
 		case <-ctx.Done():
+			select {
+			case out := <-ch:
+				// Finished before we observed the cancellation: keep the
+				// result — it still gets recorded (and cached), which is
+				// exactly what checkpoint/resume wants.
+				return take(out)
+			default:
+			}
 			return zero, context.Cause(ctx)
 		}
 	}
 
-	run := func(i int) (err error) {
+	run := func(pos, i int) (err error) {
 		defer func() {
 			if v := recover(); v != nil {
 				pe, ok := v.(*PanicError)
@@ -264,8 +376,8 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 					pe = &PanicError{Index: i, Value: v, Stack: stack()}
 				}
 				mu.Lock()
-				if pan == nil || i < pan.Index {
-					pan = pe
+				if pan == nil || pos < panPos {
+					pan, panPos = pe, pos
 				}
 				mu.Unlock()
 				stop.Store(true)
@@ -277,6 +389,15 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 			var v T
 			v, err = attempt(i, seed)
 			if err == nil {
+				if caching {
+					if key := p.Key(i); key != "" {
+						if data, eerr := encodeResult(v); eerr == nil {
+							// Best effort: a failed write only costs a
+							// future recompute, never a wrong result.
+							p.Store.Put(key, data)
+						}
+					}
+				}
 				results[i] = v
 				mu.Lock()
 				doneFlags[i] = true
@@ -294,23 +415,29 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 				return err
 			}
 			p.sleep(ctx, p.Backoff<<a)
+			if ctx.Err() != nil {
+				// The backoff wait was cut short by cancellation: give up
+				// now instead of burning one more attempt.
+				return context.Cause(ctx)
+			}
 		}
 	}
 
-	for w := p.workers(n); w > 0; w-- {
+	for w := p.workers(len(pending)); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for {
-				i := int(next.Add(1))
-				if i >= n || stop.Load() || ctx.Err() != nil {
+				pos := int(next.Add(1))
+				if pos >= len(pending) || stop.Load() || ctx.Err() != nil {
 					return
 				}
-				if err := run(i); err != nil {
+				i := pending[pos]
+				if err := run(pos, i); err != nil {
 					if ctx.Err() == nil {
 						mu.Lock()
-						if i < errIndex {
-							errIndex, firstErr = i, err
+						if pos < errPos {
+							errPos, firstErr = pos, err
 						}
 						mu.Unlock()
 						stop.Store(true)
@@ -331,6 +458,26 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 		return results, &CanceledError{Done: doneFlags, Err: context.Cause(ctx)}
 	}
 	return results, nil
+}
+
+// encodeResult serializes a job result for Pool.Store.
+func encodeResult(v any) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(v); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// decodeResult deserializes a stored job result. A payload that does not
+// decode cleanly as T reports false and the job recomputes.
+func decodeResult[T any](data []byte) (T, bool) {
+	var v T
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&v); err != nil {
+		var zero T
+		return zero, false
+	}
+	return v, true
 }
 
 // stack returns the current goroutine's stack trace.

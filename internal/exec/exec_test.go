@@ -225,10 +225,17 @@ func TestMapContextCancellation(t *testing.T) {
 			t.Fatalf("job %d done after cancellation before it could start", i)
 		}
 	}
+	// The worker that reached job 4 had already recorded every job it ran
+	// before, so at most one of jobs 0..3 (the other worker's in-flight job
+	// at the instant of cancellation) may be abandoned.
+	recorded := 0
 	for i := 0; i < 4; i++ {
-		if !ce.Done[i] {
-			t.Fatalf("job %d completed before cancel but not marked done", i)
+		if ce.Done[i] {
+			recorded++
 		}
+	}
+	if recorded < 3 {
+		t.Fatalf("only %d of jobs 0..3 marked done; at most one may be in flight at cancel", recorded)
 	}
 }
 

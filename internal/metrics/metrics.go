@@ -8,6 +8,7 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"sort"
 )
 
 // Summary holds order statistics of a sample.
@@ -42,6 +43,31 @@ func Summarize(xs []float64) Summary {
 		s.Stddev = math.Sqrt(variance)
 	}
 	return s
+}
+
+// Quantile returns the q-quantile (0 <= q <= 1) of xs by linear
+// interpolation between order statistics, without mutating xs. The exact
+// sample counterpart of Histogram.Quantile — used for the per-job wall-time
+// p50/p99 the CLI reports per sweep. An empty sample yields 0.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
 }
 
 // HarmonicMean returns the harmonic mean of xs, the aggregation the paper

@@ -108,6 +108,40 @@ func TestCoV(t *testing.T) {
 	}
 }
 
+func TestQuantile(t *testing.T) {
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("Quantile(nil) != 0")
+	}
+	if q := Quantile([]float64{7}, 0.99); q != 7 {
+		t.Errorf("Quantile(single, 0.99) = %v, want 7", q)
+	}
+	xs := []float64{4, 1, 3, 2} // unsorted on purpose
+	cases := []struct{ q, want float64 }{
+		{0, 1}, {1, 4}, {-0.5, 1}, {1.5, 4},
+		{0.5, 2.5},   // midpoint of 2 and 3
+		{0.25, 1.75}, // interpolated between 1 and 2
+	}
+	for _, c := range cases {
+		if got := Quantile(xs, c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("Quantile(xs, %v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if xs[0] != 4 || xs[3] != 2 {
+		t.Error("Quantile mutated its input")
+	}
+	// Agrees with the histogram's p50 upper bound on a dense sample.
+	dense := make([]float64, 1000)
+	h := NewHistogram(100, 0.1)
+	for i := range dense {
+		dense[i] = float64(i) / 100
+		h.Add(dense[i])
+	}
+	exact, bound := Quantile(dense, 0.5), h.Quantile(0.5)
+	if exact > bound || bound-exact > 0.2 {
+		t.Errorf("exact p50 %v vs histogram bound %v", exact, bound)
+	}
+}
+
 func TestHistogram(t *testing.T) {
 	h := NewHistogram(10, 1.0)
 	for i := 0; i < 100; i++ {

@@ -1,0 +1,331 @@
+package store
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// open opens a store rooted in a fresh temp dir with logging routed to the
+// test log.
+func open(t *testing.T) *Store {
+	t.Helper()
+	s, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Logf = t.Logf
+	t.Cleanup(func() { s.Close() })
+	return s
+}
+
+// objectPath locates the single object file stored under key.
+func objectPath(t *testing.T, s *Store, key string) string {
+	t.Helper()
+	p := s.entryPath(hashKey(key))
+	if _, err := os.Stat(p); err != nil {
+		t.Fatalf("entry for %q not on disk: %v", key, err)
+	}
+	return p
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s := open(t)
+	payload := []byte("fig3|job=7 -> 42.5")
+	if err := s.Put("k", payload); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.Get("k")
+	if !ok || string(got) != string(payload) {
+		t.Fatalf("Get = %q, %v", got, ok)
+	}
+	if _, ok := s.Get("other"); ok {
+		t.Fatal("hit for a key never stored")
+	}
+	st := s.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Puts != 1 || st.Quarantined != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestPutOverwritesAndEmptyPayload(t *testing.T) {
+	s := open(t)
+	if err := s.Put("k", []byte("old")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("new")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("k"); !ok || string(got) != "new" {
+		t.Fatalf("Get after overwrite = %q, %v", got, ok)
+	}
+	// Zero-byte payloads are legal (length header 0, checksum of "").
+	if err := s.Put("empty", nil); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get("empty"); !ok || len(got) != 0 {
+		t.Fatalf("empty payload Get = %q, %v", got, ok)
+	}
+}
+
+// corruptionCase mangles a stored entry file; every variant must read as a
+// quarantined miss — recomputed, never trusted, never a panic.
+func TestCorruptEntriesQuarantinedNotTrusted(t *testing.T) {
+	cases := []struct {
+		name   string
+		mangle func(t *testing.T, path string)
+	}{
+		{"truncated", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"truncated-mid-header", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, []byte(magic+"\x05"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-payload-byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[len(data)-1] ^= 0x40
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"flipped-checksum-byte", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[12] ^= 0x01 // first checksum byte
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"zero-length", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"bad-magic", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			copy(data, "XXXX")
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"length-mismatch", func(t *testing.T, path string) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data[4] ^= 0xff // length header no longer matches payload size
+			if err := os.WriteFile(path, data, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			s := open(t)
+			if err := s.Put("k", []byte("precious result")); err != nil {
+				t.Fatal(err)
+			}
+			path := objectPath(t, s, "k")
+			c.mangle(t, path)
+			if got, ok := s.Get("k"); ok {
+				t.Fatalf("corrupt entry (%s) returned data %q", c.name, got)
+			}
+			if st := s.Stats(); st.Quarantined != 1 {
+				t.Fatalf("quarantined = %d, want 1", st.Quarantined)
+			}
+			if _, err := os.Stat(path); !errors.Is(err, os.ErrNotExist) {
+				t.Fatalf("corrupt entry still at %s (err %v)", path, err)
+			}
+			quarantined, err := os.ReadDir(filepath.Join(s.dir, corruptDir))
+			if err != nil || len(quarantined) != 1 {
+				t.Fatalf("corrupt/ holds %d files (err %v), want the evidence", len(quarantined), err)
+			}
+			// The key recomputes cleanly afterwards.
+			if err := s.Put("k", []byte("recomputed")); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok := s.Get("k"); !ok || string(got) != "recomputed" {
+				t.Fatalf("recomputed Get = %q, %v", got, ok)
+			}
+		})
+	}
+}
+
+func TestStaleLockFromDeadPIDReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	// A PID that cannot be alive: beyond every Linux pid_max default and
+	// long dead on any machine running this test.
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, lockName), []byte("99999999\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("stale lock not reclaimed: %v", err)
+	}
+	defer s.Close()
+	data, err := os.ReadFile(filepath.Join(dir, lockName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(string(data)) != fmt.Sprint(os.Getpid()) {
+		t.Fatalf("lockfile holds %q, want our pid", data)
+	}
+}
+
+func TestMalformedLockReclaimed(t *testing.T) {
+	dir := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir, lockName), []byte("not a pid"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatalf("garbage lock not reclaimed: %v", err)
+	}
+	s.Close()
+}
+
+func TestLiveLockRejectsSecondOpen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	_, err = Open(dir)
+	var busy *BusyError
+	if !errors.As(err, &busy) {
+		t.Fatalf("second Open = %v, want *BusyError", err)
+	}
+	if busy.PID != os.Getpid() {
+		t.Fatalf("BusyError pid %d, want %d", busy.PID, os.Getpid())
+	}
+	// Close releases the lock; a third Open succeeds.
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatalf("Open after Close: %v", err)
+	}
+	s2.Close()
+}
+
+func TestOpenSweepsAbandonedTempFiles(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	// A writer crashed mid-Put: only its temp file remains.
+	tmp := filepath.Join(dir, objectsDir, tmpPrefix+"123-1")
+	if err := os.WriteFile(tmp, []byte("torn half-write"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s, err = Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	if _, err := os.Stat(tmp); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("abandoned temp file survived Open (err %v)", err)
+	}
+}
+
+func TestResetAndClear(t *testing.T) {
+	dir := t.TempDir()
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Put("k", []byte("v")); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Reset(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.Get("k"); ok {
+		t.Fatal("entry survived Reset")
+	}
+	// Reset keeps the lock: a concurrent Open must still be rejected.
+	if _, err := Open(dir); err == nil {
+		t.Fatal("Reset released the lock")
+	}
+	if err := s.Put("k", []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	if err := Clear(dir); err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if _, ok := s2.Get("k"); ok {
+		t.Fatal("entry survived Clear")
+	}
+}
+
+func TestKeysAreContentAddressed(t *testing.T) {
+	s := open(t)
+	// Filesystem-hostile key strings must be safe.
+	key := "v1|fig=../../etc/passwd|job=0\nsecond line"
+	if err := s.Put(key, []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if got, ok := s.Get(key); !ok || string(got) != "x" {
+		t.Fatalf("hostile key round trip = %q, %v", got, ok)
+	}
+	// Nothing escaped the store root.
+	if _, err := os.Stat(filepath.Join(s.dir, "..", "etc")); !errors.Is(err, os.ErrNotExist) {
+		t.Fatal("key escaped the store directory")
+	}
+}
+
+func TestRepeatedCorruptionKeepsNumberedEvidence(t *testing.T) {
+	s := open(t)
+	for round := 0; round < 3; round++ {
+		if err := s.Put("k", []byte("payload")); err != nil {
+			t.Fatal(err)
+		}
+		path := objectPath(t, s, "k")
+		if err := os.WriteFile(path, []byte("garbage"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := s.Get("k"); ok {
+			t.Fatal("corrupt read trusted")
+		}
+	}
+	quarantined, err := os.ReadDir(filepath.Join(s.dir, corruptDir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(quarantined) != 3 {
+		t.Fatalf("%d quarantine files, want 3 (numbered suffixes)", len(quarantined))
+	}
+}
