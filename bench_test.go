@@ -498,3 +498,42 @@ func BenchmarkAblation_GTDWearLeveling(b *testing.B) {
 		b.Fatalf("GTD wear leveling did not flatten reserved-area wear: %.3f >= %.3f", with, without)
 	}
 }
+
+// BenchmarkShardedLifetime measures the intra-run sharding speedup: one
+// SAWL BPA lifetime run decomposed across the bank geometry, at 1/2/4/8
+// shards with matching parallelism. On an 8-core host the 8-shard variant
+// approaches the per-shard work ratio (the acceptance target is >=3x over
+// shards1); on fewer cores the variants collapse toward the serial time.
+// The reported pctLife metric shows the shard layouts agreeing within the
+// documented tolerance — the speedup does not change what is simulated.
+func BenchmarkShardedLifetime(b *testing.B) {
+	cfg := SystemConfig{
+		Scheme:     SAWL,
+		Lines:      1 << 14,
+		SpareLines: 1 << 9,
+		Endurance:  2500,
+		Period:     8,
+		CMTEntries: 1 << 12,
+		Seed:       42,
+	}
+	w := WorkloadSpec{Kind: WorkloadBPA, Seed: 42}
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("shards%d", shards), func(b *testing.B) {
+			var res LifetimeResult
+			for i := 0; i < b.N; i++ {
+				var plan ShardPlan
+				var err error
+				res, plan, err = RunShardedLifetime(cfg, w, 0, ShardedRunOptions{
+					Shards: shards, Parallelism: shards,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				if shards > 1 && plan.Shards != shards {
+					b.Fatalf("plan fell back to %d shards: %s", plan.Shards, plan.Reason)
+				}
+			}
+			b.ReportMetric(100*res.Normalized, "pctLife")
+		})
+	}
+}

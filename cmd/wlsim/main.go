@@ -11,7 +11,10 @@
 // Sweeps fan out across -j worker goroutines (default: all cores). Output
 // tables are byte-identical for every -j value: jobs are independent
 // simulations, collected in submission order, each seeded from
-// (seed, job index).
+// (seed, job index). -shards N additionally decomposes every single
+// lifetime run across N per-bank shards where the scheme allows it; a
+// fixed -shards value is equally deterministic, but sharded and serial
+// tables differ (different simulated geometry) and are cached separately.
 //
 // SIGINT/SIGTERM cancel the running sweep: completed points are flushed as
 // a partial table and the process exits with status 130.
@@ -42,6 +45,7 @@ func main() {
 	scaleName := flag.String("scale", "medium", "experiment scale: small|medium|large")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel sweep jobs (0 = all cores)")
+	shards := flag.Int("shards", 1, "per-bank shards per lifetime run (0 = auto: min(cores, 32))")
 	quiet := flag.Bool("q", false, "suppress per-job progress on stderr")
 	format := flag.String("format", "text", "output format: text|csv|json")
 	normalized := flag.Float64("normalized", 0.85, "project: measured normalized lifetime")
@@ -78,6 +82,24 @@ func main() {
 	}
 	sc.Seed = *seed
 	sc.Parallelism = *workers
+	// -shards: the default is 1 — machine-independent, so the default
+	// output is reproducible everywhere. 0 opts into machine-sized shards.
+	switch {
+	case *shards == 0:
+		sc.Shards = runtime.GOMAXPROCS(0)
+		if sc.Shards > nvmwear.MaxShards {
+			sc.Shards = nvmwear.MaxShards
+		}
+	case *shards > nvmwear.MaxShards:
+		sc.Shards = nvmwear.MaxShards
+	default:
+		sc.Shards = *shards
+	}
+	// Diagnostics (shard fallbacks, staleness) go to stderr so stdout stays
+	// machine-readable; clear any live progress counter first.
+	sc.Logf = func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "\r\033[K"+format+"\n", args...)
+	}
 
 	// -cache: open (or create) the crash-safe result store. Completed
 	// sweep jobs persist across process lifetimes, so an interrupted or
@@ -144,6 +166,39 @@ func main() {
 			inner(done, total)
 		}
 	}
+	// Pipeline rendering: each completed series streams to stderr — and,
+	// with -svg, into an accumulating <fig>.partial.svg — the moment its
+	// last job finishes, instead of waiting for the whole sweep. The final
+	// emit replaces the partial file with the complete figure.
+	partialSeries := map[string][]nvmwear.Series{}
+	partialFiles := map[string]bool{}
+	removePartials := func() {
+		for path := range partialFiles {
+			os.Remove(path)
+		}
+		partialSeries = map[string][]nvmwear.Series{}
+		partialFiles = map[string]bool{}
+	}
+	sc.SeriesDone = func(fig string, s nvmwear.Series) {
+		if !*quiet {
+			fmt.Fprintf(os.Stderr, "\r\033[K%s: series %q complete\n", fig, s.Label)
+		}
+		if *svgDir == "" {
+			return
+		}
+		// Best-effort: a failed partial render never fails the sweep.
+		partialSeries[fig] = append(partialSeries[fig], s)
+		path := *svgDir + "/" + fig + ".partial.svg"
+		f, err := os.Create(path)
+		if err != nil {
+			return
+		}
+		if nvmwear.WriteSeriesSVG(f, fig+" (partial)", "x", "value", false, partialSeries[fig]) == nil {
+			partialFiles[path] = true
+		}
+		f.Close()
+	}
+
 	// Per-job wall times, fed by the pool after each completed job (zero
 	// for cache hits, which are excluded from the percentiles below).
 	var jobTimes []float64
@@ -288,6 +343,9 @@ func main() {
 			ok = false
 		}
 		if ok {
+			// The full figure was emitted: the accumulated partial SVGs are
+			// now superseded.
+			removePartials()
 			elapsed := time.Since(start)
 			if jobsTotal > 0 {
 				fmt.Printf("[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
@@ -304,10 +362,22 @@ func main() {
 
 	target := flag.Arg(0)
 	if target == "all" {
-		for _, name := range []string{
+		names := []string{
 			"table1", "fig3", "fig4", "fig5", "fig12", "fig13",
 			"fig14", "fig15", "fig16", "fig17", "overhead",
-		} {
+		}
+		// Staleness report: with a cache open, probe every experiment's job
+		// keys up front so fully-cached experiments are visibly skipped
+		// before any simulation starts.
+		if cache != nil {
+			for _, name := range names {
+				for _, f := range sc.CacheFreshness(name) {
+					fmt.Fprintf(os.Stderr, "cache: %-7s %3d/%3d jobs cached, %d stale\n",
+						f.Fig, f.Cached, f.Jobs, f.Stale())
+				}
+			}
+		}
+		for _, name := range names {
 			if !run(name) {
 				os.Exit(1)
 			}
@@ -408,7 +478,7 @@ func runAttack(sc nvmwear.Scale) {
 func usage() {
 	fmt.Fprintf(os.Stderr, `wlsim regenerates the SAWL paper's tables and figures.
 
-usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-q]
+usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-shards N] [-q]
              [-cache DIR [-cache-clear]] <experiment>
 
 Sweeps run as -j parallel jobs (default: all cores; each sweep reports
@@ -417,6 +487,22 @@ every -j value: jobs are independent, results are collected in submission
 order, and job i is seeded deterministically from (seed, i). -q silences
 the per-job progress counter printed to stderr. SIGINT/SIGTERM cancel the
 running sweep, flush the completed points as a partial table, and exit 130.
+
+-shards N decomposes every single lifetime run across N per-bank shards
+(capped at the device's 32-bank geometry; 0 = one shard per core), using
+all cores even when a sweep has few points. Schemes that level within
+independent regions (Baseline, RBSG, NWL, SAWL) shard exactly; globally
+coupled schemes (segment swap, start-gap, TLSR, PCM-S, MWSR) fall back to
+serial with a reason on stderr. A fixed -shards value is deterministic for
+every -j, but sharded tables differ from serial ones (per-bank devices,
+spare pools and RNG substreams — see DESIGN.md par.10); the default is
+therefore 1, and sharded results are cached under separate keys.
+
+As each series of a figure completes, a notice goes to stderr and (with
+-svg) an accumulating <fig>.partial.svg is updated, so long sweeps render
+progressively; the final figure replaces the partial file. With -cache,
+"wlsim all" first prints a per-figure staleness report (jobs cached vs
+stale) so fully-cached experiments are visibly skipped.
 
 -cache DIR memoizes completed sweep jobs in a crash-safe disk store:
 re-running the same experiment re-executes only the missing jobs, so an

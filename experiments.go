@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"nvmwear/internal/exec"
@@ -201,6 +202,26 @@ type Scale struct {
 	// time after Progress (zero for cache hits). Calls are serialized by
 	// the pool; cmd/wlsim aggregates these into p50/p99 summaries.
 	JobTime func(elapsed time.Duration)
+
+	// Shards decomposes every single lifetime run into this many per-bank
+	// shards (cmd/wlsim's -shards flag) where the scheme and workload allow
+	// it — see PlanShards; runs that cannot shard fall back to serial with
+	// a Logf notice. <= 1 keeps the serial path everywhere. Sharded results
+	// are cached under shard-salted keys (cacheKey), so the store never
+	// mixes sharded and serial entries.
+	Shards int
+
+	// SeriesDone, when non-nil, receives each completed series of a sweep
+	// the moment its last job finishes — before the runner returns — so
+	// long sweeps can stream partial figures to the formatter (pipeline
+	// rendering). The runner's returned slice is unaffected. Calls are
+	// serialized; fig names match the runner's cache identity.
+	SeriesDone func(fig string, s Series)
+
+	// Logf, when non-nil, receives diagnostic notices (serial-fallback
+	// reasons under Shards > 1, cache staleness lines). cmd/wlsim wires it
+	// to stderr so stdout stays machine-readable.
+	Logf func(format string, args ...any)
 }
 
 // ResultCache memoizes completed sweep jobs across runs. It mirrors
@@ -241,12 +262,19 @@ const resultsVersion = "wlsim-results-v1"
 // parameters), the job index, and the job's derived seed stream. The
 // store content-addresses the string, so readability costs nothing.
 func (sc Scale) cacheKey(fig string, i int) string {
-	return fmt.Sprintf(
+	key := fmt.Sprintf(
 		"%s|fig=%s|job=%d|seed=%d|stream=%#x|attack=%d/%d|spec=%d/%d/%d|trace=%d|req=%d|cmt=%d|spare=%d",
 		resultsVersion, fig, i, sc.Seed, rng.SeedStream(sc.Seed, uint64(i)),
 		sc.AttackLines, sc.AttackEndurance,
 		sc.SpecLines, sc.SpecEndurance, sc.SpecPeriod,
 		sc.TraceLines, sc.Requests, sc.CMTEntries, sc.SpareFrac)
+	// The shard layout changes the simulated geometry (per-bank devices and
+	// RNG substreams), so sharded results live under their own keys. Serial
+	// runs keep the historical unsalted key: existing caches stay warm.
+	if sc.Shards > 1 {
+		key += fmt.Sprintf("|shards=%d", sc.Shards)
+	}
+	return key
 }
 
 // ScaleSmall regenerates every figure in seconds to a few minutes — the
@@ -391,7 +419,23 @@ func runJobs[T any](sc Scale, fig string, n int, fn func(i int, seed uint64) (T,
 // runJobsCost is runJobs with a longest-job-first cost hint: jobs are
 // dispatched in descending cost order while results keep submission order.
 func runJobsCost[T any](sc Scale, fig string, cost func(i int) float64, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	out, err := exec.Map(sc.cachedPool(fig, cost), n, fn)
+	return runJobsStream(sc, fig, cost, n, nil, fn)
+}
+
+// runJobsStream is runJobsCost plus a per-job completion hook: onJob, when
+// non-nil, observes each job's result as it lands (cache hits included, in
+// completion order) so runners can stream series to Scale.SeriesDone while
+// the sweep is still running. onJob calls are serialized by the pool.
+func runJobsStream[T any](sc Scale, fig string, cost func(i int) float64, n int, onJob func(i int, v T), fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	p := sc.cachedPool(fig, cost)
+	if onJob != nil {
+		p.OnJob = func(i int, v any, _ time.Duration) {
+			if tv, ok := v.(T); ok {
+				onJob(i, tv)
+			}
+		}
+	}
+	out, err := exec.Map(p, n, fn)
 	var ce *exec.CanceledError
 	if errors.As(err, &ce) {
 		done := 0
@@ -401,4 +445,54 @@ func runJobsCost[T any](sc Scale, fig string, cost func(i int) float64, n int, f
 		return out[:done], fmt.Errorf("%w after %d/%d jobs (%v)", ErrInterrupted, done, n, ce.Err)
 	}
 	return out, err
+}
+
+// seriesStreamer assembles per-job results into labeled curves as jobs
+// finish and fires Scale.SeriesDone the moment a curve's last point lands.
+// Runners declare every series (label + point count) up front, then report
+// points from the pool's per-job hook; a sweep interrupted mid-series
+// simply never fires that series. A nil streamer (SeriesDone unset) makes
+// every method a no-op, so runners call it unconditionally.
+type seriesStreamer struct {
+	sc   Scale
+	fig  string
+	mu   sync.Mutex
+	ser  []Series
+	left []int
+}
+
+// newSeriesStreamer returns a streamer for the sweep, or nil when the scale
+// has no SeriesDone sink.
+func newSeriesStreamer(sc Scale, fig string) *seriesStreamer {
+	if sc.SeriesDone == nil {
+		return nil
+	}
+	return &seriesStreamer{sc: sc, fig: fig}
+}
+
+// series declares a labeled curve with n points and returns its id.
+func (st *seriesStreamer) series(label string, n int) int {
+	if st == nil {
+		return -1
+	}
+	st.ser = append(st.ser, Series{Label: label, X: make([]float64, n), Y: make([]float64, n)})
+	st.left = append(st.left, n)
+	return len(st.ser) - 1
+}
+
+// point records point p of series s; the last point fires SeriesDone.
+func (st *seriesStreamer) point(s, p int, x, y float64) {
+	if st == nil || s < 0 {
+		return
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.ser[s].X[p] = x
+	st.ser[s].Y[p] = y
+	if st.left[s]--; st.left[s] == 0 {
+		out := Series{Label: st.ser[s].Label}
+		out.X = append(out.X, st.ser[s].X...)
+		out.Y = append(out.Y, st.ser[s].Y...)
+		st.sc.SeriesDone(st.fig, out)
+	}
 }

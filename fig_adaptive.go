@@ -78,7 +78,12 @@ func runTrace(sc Scale, bench string, sow, ssw uint64) (hit, size Series, avgHit
 // soplex request stream, as the serial loops did.
 func RunFig12(sc Scale) ([]Series, error) {
 	windows := scaledWindows(sc)
-	return runJobs(sc, "fig12", len(windows), func(i int, _ uint64) (Series, error) {
+	// Each job produces one complete series, so streaming is per-job.
+	var onJob func(i int, s Series)
+	if sc.SeriesDone != nil {
+		onJob = func(_ int, s Series) { sc.SeriesDone("fig12", s) }
+	}
+	return runJobsStream(sc, "fig12", nil, len(windows), onJob, func(i int, _ uint64) (Series, error) {
 		sow := windows[i]
 		hit, _, _, err := runTrace(sc, "soplex", sow, sc.Requests/4)
 		if err != nil {
@@ -101,7 +106,11 @@ func RunFig13(sc Scale) ([]Series, map[string]float64, error) {
 		Size   Series
 		AvgHit float64
 	}
-	res, err := runJobs(sc, "fig13", len(windows), func(i int, _ uint64) (point, error) {
+	var onJob func(i int, p point)
+	if sc.SeriesDone != nil {
+		onJob = func(_ int, p point) { sc.SeriesDone("fig13", p.Size) }
+	}
+	res, err := runJobsStream(sc, "fig13", nil, len(windows), onJob, func(i int, _ uint64) (point, error) {
 		ssw := windows[i]
 		_, size, avgHit, err := runTrace(sc, "soplex", sc.Requests/8, ssw)
 		if err != nil {
@@ -149,6 +158,9 @@ func log2u(v uint64) int {
 	return n
 }
 
+// fig14Benches are Fig 14's three representative benchmarks.
+var fig14Benches = []string{"bzip2", "cactusADM", "gcc"}
+
 // Fig14Result holds one benchmark's panel of Fig 14.
 type Fig14Result struct {
 	Bench      string
@@ -166,7 +178,7 @@ type Fig14Result struct {
 // The three measurements per benchmark (NWL-4, NWL-64, SAWL) are
 // independent fixed-length runs, so all nine fan out as one job list.
 func RunFig14(sc Scale) ([]Fig14Result, error) {
-	benches := []string{"bzip2", "cactusADM", "gcc"}
+	benches := fig14Benches
 	// Per-bench job triplet: NWL-4 avg, NWL-64 avg, SAWL trace.
 	const perBench = 3
 	// Exported fields: results round-trip through the gob result cache.

@@ -5,13 +5,9 @@ import (
 
 	"nvmwear/internal/analysis"
 	"nvmwear/internal/exec"
-	"nvmwear/internal/lifetime"
 	"nvmwear/internal/metrics"
-	"nvmwear/internal/nvm"
-	"nvmwear/internal/wl"
 	"nvmwear/internal/wl/mwsr"
 	"nvmwear/internal/wl/pcms"
-	"nvmwear/internal/wl/secref"
 	"nvmwear/internal/workload"
 )
 
@@ -22,19 +18,20 @@ import (
 // device + leveler per point), so the runners build a flat job list and
 // fan it out on the scale's worker pool (internal/exec). Points land in
 // their series in submission order, which keeps the emitted tables
-// byte-identical whatever Scale.Parallelism is.
+// byte-identical whatever Scale.Parallelism is. Each measurement goes
+// through the sweep's sharder, so under Scale.Shards a single run further
+// decomposes across the bank geometry where the scheme allows it.
 
-// bpaLifetime runs one BPA lifetime measurement on a fresh device. The
-// attacker writes each randomly selected address "precisely" (Sec 2.2):
-// `repeats` is tuned to the scheme's remap trigger, so every burst deposits
-// one full swap period of wear on a single physical line before the scheme
-// can move it — the worst case the paper evaluates.
-func bpaLifetime(build func(dev *nvm.Device) wl.Leveler, lines, spares uint64, endurance uint32, repeats, seed uint64) float64 {
-	dev := nvm.New(nvm.Config{Lines: lines, SpareLines: spares, Endurance: endurance})
-	lv := build(dev)
-	bpa := workload.NewBPA(seed, lv.Lines(), repeats)
-	res := lifetime.Run(dev, lv, bpa, lifetime.Options{Workload: "BPA"})
-	return 100 * res.Normalized
+// bpaAttack is the BPA workload of the attack figures. The attacker writes
+// each randomly selected address "precisely" (Sec 2.2): `repeats` is tuned
+// to the scheme's remap trigger, so every burst deposits one full swap
+// period of wear on a single physical line before the scheme can move it —
+// the worst case the paper evaluates.
+func bpaAttack(seed, repeats uint64) WorkloadSpec {
+	if repeats == 0 {
+		repeats = 1
+	}
+	return WorkloadSpec{Kind: WorkloadBPA, Seed: seed, Repeats: repeats}
 }
 
 // regionSweep returns the paper-shaped region-count sweep for a device:
@@ -73,6 +70,28 @@ func appendPoints(out []Series, pts []sweepPoint, ys []float64) {
 	}
 }
 
+// streamSweep wires a sweepPoint job list into the scale's series streamer:
+// it declares every series (labels must already be set on out) with its
+// point count and returns the per-job completion hook, or nil when the
+// scale has no SeriesDone sink.
+func streamSweep(st *seriesStreamer, out []Series, pts []sweepPoint) func(i int, y float64) {
+	if st == nil {
+		return nil
+	}
+	counts := make([]int, len(out))
+	pidx := make([]int, len(pts))
+	for i, p := range pts {
+		pidx[i] = counts[p.series]
+		counts[p.series]++
+	}
+	for si := range out {
+		st.series(out[si].Label, counts[si])
+	}
+	return func(i int, y float64) {
+		st.point(pts[i].series, pidx[i], pts[i].x, y)
+	}
+}
+
 // RunFig3 reproduces Fig 3: normalized lifetime of TLSR under BPA as a
 // function of the number of regions, for inner swapping periods 8-64 and
 // two endurance levels (outer period fixed at 32, as in Sec 2.2).
@@ -95,18 +114,20 @@ func RunFig3(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, "fig3", len(jobs), func(i int, seed uint64) (float64, error) {
+	sh := newSharder(sc)
+	onJob := streamSweep(newSeriesStreamer(sc, "fig3"), out, pts)
+	norms, err := runJobsStream(sc, "fig3", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		repeats := j.period * (sc.AttackLines / j.regions) / 2
-		if repeats == 0 {
-			repeats = 1
+		res, err := sh.run(SystemConfig{
+			Scheme: TLSR, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: j.endurance, Regions: j.regions,
+			Period: j.period, OuterPeriod: 32, Seed: seed,
+		}, bpaAttack(seed, repeats), 0)
+		if err != nil {
+			return 0, err
 		}
-		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-			return secref.New(dev, secref.Config{
-				Lines: sc.AttackLines, Regions: j.regions,
-				InnerPeriod: j.period, OuterPeriod: 32, Seed: seed,
-			})
-		}, sc.AttackLines, sc.attackSpares(), j.endurance, repeats, seed), nil
+		return 100 * res.Normalized, nil
 	})
 	appendPoints(out, pts, norms)
 	return out, err
@@ -137,19 +158,19 @@ func RunFig4(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, "fig4", len(jobs), func(i int, seed uint64) (float64, error) {
+	sh := newSharder(sc)
+	onJob := streamSweep(newSeriesStreamer(sc, "fig4"), out, pts)
+	norms, err := runJobsStream(sc, "fig4", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		q := sc.AttackLines / j.regions
-		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-			if j.scheme == PCMS {
-				return pcms.New(dev, pcms.Config{
-					Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
-				})
-			}
-			return mwsr.New(dev, mwsr.Config{
-				Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
-			})
-		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
+		res, err := sh.run(SystemConfig{
+			Scheme: j.scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: j.endurance, RegionLines: q, Period: j.period, Seed: seed,
+		}, bpaAttack(seed, j.period*q), 0)
+		if err != nil {
+			return 0, err
+		}
+		return 100 * res.Normalized, nil
 	})
 	appendPoints(out, pts, norms)
 	return out, err
@@ -160,8 +181,11 @@ func RunFig4(sc Scale) ([]Series, error) {
 // limits the number of regions each scheme can track (MWSR entries are
 // about twice the size of PCM-S entries, which is why it does worse at
 // equal budget). Budgets are scaled: the paper sweeps 64 KB-4 MB on 64 GB.
+// fig5Budgets is the scaled on-chip SRAM budget sweep of Fig 5 (bytes).
+var fig5Budgets = []uint64{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+
 func RunFig5(sc Scale) ([]Series, error) {
-	budgets := []uint64{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 1 << 15}
+	budgets := fig5Budgets
 	type job struct {
 		endurance uint32
 		scheme    SchemeKind
@@ -180,20 +204,20 @@ func RunFig5(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, "fig5", len(jobs), func(i int, seed uint64) (float64, error) {
+	sh := newSharder(sc)
+	onJob := streamSweep(newSeriesStreamer(sc, "fig5"), out, pts)
+	norms, err := runJobsStream(sc, "fig5", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		regions := regionsForBudget(j.scheme, j.budget, sc.AttackLines)
 		q := sc.AttackLines / regions
-		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-			if j.scheme == PCMS {
-				return pcms.New(dev, pcms.Config{
-					Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: seed,
-				})
-			}
-			return mwsr.New(dev, mwsr.Config{
-				Lines: sc.AttackLines, RegionLines: q, Period: 32, Seed: seed,
-			})
-		}, sc.AttackLines, sc.attackSpares(), j.endurance, 32*q, seed), nil
+		res, err := sh.run(SystemConfig{
+			Scheme: j.scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: j.endurance, RegionLines: q, Period: 32, Seed: seed,
+		}, bpaAttack(seed, 32*q), 0)
+		if err != nil {
+			return 0, err
+		}
+		return 100 * res.Normalized, nil
 	})
 	appendPoints(out, pts, norms)
 	return out, err
@@ -244,45 +268,39 @@ func RunFig15(sc Scale) ([]Series, error) {
 			}
 		}
 	}
-	norms, err := runJobs(sc, "fig15", len(jobs), func(i int, seed uint64) (float64, error) {
+	sh := newSharder(sc)
+	onJob := streamSweep(newSeriesStreamer(sc, "fig15"), out, pts)
+	norms, err := runJobsStream(sc, "fig15", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
-		if j.scheme == SAWL {
-			sys, err := NewSystem(SystemConfig{
-				Scheme: SAWL, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
-				Endurance: j.endurance, Period: j.period,
-				CMTEntries: sc.CMTEntries, Seed: seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			res, err := sys.RunLifetime(WorkloadSpec{
-				Kind: WorkloadBPA, Seed: seed, Repeats: j.period * 4,
-			}, 0)
-			if err != nil {
-				return 0, err
-			}
-			return 100 * res.Normalized, nil
+		cfg := SystemConfig{
+			Scheme: j.scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+			Endurance: j.endurance, Period: j.period, Seed: seed,
 		}
-		// On-chip bound, scaled: PCM-S affords 16-line regions,
-		// MWSR (double-size entries) 32-line regions.
-		q := uint64(16)
-		if j.scheme == MWSR {
-			q = 32
+		repeats := j.period * 4
+		switch j.scheme {
+		case SAWL:
+			cfg.CMTEntries = sc.CMTEntries
+		case PCMS:
+			// On-chip bound, scaled: PCM-S affords 16-line regions,
+			// MWSR (double-size entries) 32-line regions.
+			cfg.RegionLines = 16
+			repeats = j.period * 16
+		case MWSR:
+			cfg.RegionLines = 32
+			repeats = j.period * 32
 		}
-		return bpaLifetime(func(dev *nvm.Device) wl.Leveler {
-			if j.scheme == PCMS {
-				return pcms.New(dev, pcms.Config{
-					Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
-				})
-			}
-			return mwsr.New(dev, mwsr.Config{
-				Lines: sc.AttackLines, RegionLines: q, Period: j.period, Seed: seed,
-			})
-		}, sc.AttackLines, sc.attackSpares(), j.endurance, j.period*q, seed), nil
+		res, err := sh.run(cfg, bpaAttack(seed, repeats), 0)
+		if err != nil {
+			return 0, err
+		}
+		return 100 * res.Normalized, nil
 	})
 	appendPoints(out, pts, norms)
 	return out, err
 }
+
+// fig16Schemes are the schemes Fig 16 compares across the SPEC suite.
+var fig16Schemes = []SchemeKind{Baseline, RBSG, TLSR, SAWL}
 
 // RunFig16 reproduces Fig 16: normalized lifetime under the 14 SPEC-like
 // applications for Baseline, RBSG, TLSR and SAWL, in two region
@@ -306,7 +324,7 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 	gran := sc.SpecLines / regions
 
 	names := workload.Names()
-	schemes := []SchemeKind{Baseline, RBSG, TLSR, SAWL}
+	schemes := fig16Schemes
 	out := make([]Series, len(schemes))
 	endurance := sc.SpecEndurance
 
@@ -314,11 +332,33 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 	if !coarse {
 		fig = "fig16b"
 	}
+	// Streaming: each scheme's series completes once its 14 benchmark
+	// points have landed; the Hmean point is computed and fired with them.
+	// The pool serializes onJob calls, so the accumulators need no lock.
+	var onJob func(i int, y float64)
+	if st := newSeriesStreamer(sc, fig); st != nil {
+		vals := make([][]float64, len(schemes))
+		left := make([]int, len(schemes))
+		for si, scheme := range schemes {
+			st.series(string(scheme), len(names)+1)
+			vals[si] = make([]float64, len(names))
+			left[si] = len(names)
+		}
+		onJob = func(i int, y float64) {
+			si, bi := i/len(names), i%len(names)
+			st.point(si, bi, float64(bi), y)
+			vals[si][bi] = y
+			if left[si]--; left[si] == 0 {
+				st.point(si, len(names), float64(len(names)), 100*hmeanPct(vals[si]))
+			}
+		}
+	}
+	sh := newSharder(sc)
 	// One job per (scheme, benchmark) lifetime run, scheme-major so the
 	// results slice regroups directly into series. Benchmarks vary ~10x in
 	// run time with footprint, so the footprint is the longest-job-first
 	// hint that keeps the parallel tail short.
-	norms, err := runJobsCost(sc, fig, benchFootprintCost(names), len(schemes)*len(names), func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, fig, benchFootprintCost(names), len(schemes)*len(names), onJob, func(i int, seed uint64) (float64, error) {
 		scheme, name := schemes[i/len(names)], names[i%len(names)]
 		cfg := SystemConfig{
 			Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
@@ -331,11 +371,7 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 			// the region sweep only affects the algebraic schemes.
 			cfg.InitGran = 8
 		}
-		sys, err := NewSystem(cfg)
-		if err != nil {
-			return 0, err
-		}
-		res, err := sys.RunLifetime(WorkloadSpec{
+		res, err := sh.run(cfg, WorkloadSpec{
 			Kind: WorkloadSPEC, Name: name, Seed: seed,
 		}, 0)
 		if err != nil {
@@ -437,21 +473,26 @@ func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, erro
 // lines.
 func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Series, error) {
 	fig := fmt.Sprintf("sweep:%s:q%v:p%v", kind, regionLines, periods)
-	norms, err := exec.Map(sc.cachedPool(fig, nil), len(periods)*len(regionLines),
+	var onJob func(i int, y float64)
+	if st := newSeriesStreamer(sc, fig); st != nil {
+		for _, period := range periods {
+			st.series(fmt.Sprintf("%s ψ=%d", kind, period), len(regionLines))
+		}
+		onJob = func(i int, y float64) {
+			pi, qi := i/len(regionLines), i%len(regionLines)
+			st.point(pi, qi, float64(regionLines[qi]), y)
+		}
+	}
+	sh := newSharder(sc)
+	norms, err := runJobsStream(sc, fig, nil, len(periods)*len(regionLines), onJob,
 		func(i int, seed uint64) (float64, error) {
 			period, q := periods[i/len(regionLines)], regionLines[i%len(regionLines)]
-			sys, err := NewSystem(SystemConfig{
+			res, err := sh.run(SystemConfig{
 				Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 				Endurance: sc.AttackEndurance, Period: period,
 				RegionLines: q, Regions: sc.AttackLines / q, InitGran: min64(q, 64),
 				CMTEntries: sc.CMTEntries, Seed: seed,
-			})
-			if err != nil {
-				return 0, err
-			}
-			res, err := sys.RunLifetime(WorkloadSpec{
-				Kind: WorkloadBPA, Seed: seed, Repeats: period * q,
-			}, 0)
+			}, bpaAttack(seed, period*q), 0)
 			if err != nil {
 				return 0, err
 			}

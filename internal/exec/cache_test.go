@@ -288,3 +288,75 @@ func TestMapCancelledBetweenRetriesSkipsNextAttempt(t *testing.T) {
 		t.Fatalf("err = %v, want *CanceledError", err)
 	}
 }
+
+// OnJob must fire exactly once per job with the job's result — both for
+// computed jobs and for cache-prepass hits (elapsed 0), so streaming
+// consumers see every point even on a fully-cached rerun.
+func TestMapOnJobFiresForComputedAndCachedJobs(t *testing.T) {
+	st := newMapStore()
+	square := func(i int, seed uint64) (int, error) { return i * i, nil }
+	collect := func(p *Pool) map[int]int {
+		var mu sync.Mutex
+		got := map[int]int{}
+		p.OnJob = func(i int, v any, _ time.Duration) {
+			mu.Lock()
+			defer mu.Unlock()
+			if _, dup := got[i]; dup {
+				t.Errorf("OnJob fired twice for job %d", i)
+			}
+			got[i] = v.(int)
+		}
+		if _, err := Map(p, 10, square); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	check := func(got map[int]int, when string) {
+		t.Helper()
+		if len(got) != 10 {
+			t.Fatalf("%s: OnJob fired for %d of 10 jobs", when, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("%s: OnJob job %d got %d", when, i, v)
+			}
+		}
+	}
+	check(collect(cachedPool(st, 4)), "cold run")
+	// Second run: everything is a cache hit, served from the prepass.
+	check(collect(cachedPool(st, 4)), "cached run")
+}
+
+// A cached-run OnJob reports zero elapsed; a computed job reports nonzero.
+func TestMapOnJobElapsedDistinguishesCacheHits(t *testing.T) {
+	st := newMapStore()
+	slow := func(i int, seed uint64) (int, error) {
+		time.Sleep(time.Millisecond)
+		return i, nil
+	}
+	var mu sync.Mutex
+	elapsed := map[int]time.Duration{}
+	run := func() {
+		p := cachedPool(st, 2)
+		p.OnJob = func(i int, _ any, d time.Duration) {
+			mu.Lock()
+			elapsed[i] = d
+			mu.Unlock()
+		}
+		if _, err := Map(p, 4, slow); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run()
+	for i, d := range elapsed {
+		if d == 0 {
+			t.Fatalf("computed job %d reported zero elapsed", i)
+		}
+	}
+	run()
+	for i, d := range elapsed {
+		if d != 0 {
+			t.Fatalf("cached job %d reported elapsed %v, want 0", i, d)
+		}
+	}
+}

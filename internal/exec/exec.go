@@ -78,6 +78,15 @@ type Pool struct {
 	// time. Calls are serialized; the callback must not block for long.
 	OnDone func(done, total int, elapsed time.Duration)
 
+	// OnJob, when non-nil, is called with each job's index, result value and
+	// wall time as the result lands — cache-prepass hits included (elapsed
+	// 0). Unlike OnDone it identifies which job finished and carries the
+	// value, so callers can stream per-job output (pipeline rendering)
+	// instead of waiting for Map to return. Calls are serialized with
+	// OnDone; the callback must not block for long. Jobs arrive in
+	// completion order, not index order.
+	OnJob func(index int, result any, elapsed time.Duration)
+
 	// Context, when non-nil, cancels the sweep: unstarted jobs are skipped,
 	// in-flight jobs are abandoned, and Map returns a *CanceledError
 	// recording which jobs completed. A nil Context never cancels.
@@ -281,6 +290,9 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 						if p.OnDone != nil {
 							p.OnDone(done, n, 0)
 						}
+						if p.OnJob != nil {
+							p.OnJob(i, v, 0)
+						}
 						continue
 					}
 					// Stored bytes that no longer decode as T (result-type
@@ -404,6 +416,9 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 				done++
 				if p.OnDone != nil {
 					p.OnDone(done, n, time.Since(start))
+				}
+				if p.OnJob != nil {
+					p.OnJob(i, v, time.Since(start))
 				}
 				mu.Unlock()
 				return nil

@@ -1,0 +1,128 @@
+// Sharded lifetime runs: one large run decomposed along the device's bank
+// geometry into independent per-shard runs on the exec pool, with wear and
+// accounting merged back into a single Result.
+//
+// The decomposition is exact for wl.Partitionable schemes whose partition
+// units divide evenly across shards: each shard is a closed system (its own
+// device slice, scheme instance and trace substream), so the union of shard
+// trajectories is a trajectory of the whole device under a bank-interleaved
+// request order. Callers are responsible for that gating — this runner just
+// executes whatever shard list it is handed.
+package lifetime
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"nvmwear/internal/exec"
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// ShardRun bundles one shard of a decomposed run: a slice of the device
+// geometry, the scheme instance leveling it, and the shard's private trace
+// stream (seeded via rng.SeedStream substreams so shards never share
+// randomness).
+type ShardRun struct {
+	Dev    *nvm.Device
+	Lv     wl.Leveler
+	Stream trace.Stream
+}
+
+// ShardedOptions controls a sharded run.
+type ShardedOptions struct {
+	Options
+	// Parallelism bounds concurrently running shards; <= 0 uses GOMAXPROCS.
+	Parallelism int
+	// Context, when non-nil, cancels the run.
+	Context context.Context
+}
+
+// shardOutcome is the per-shard job result: the run plus the raw scheme and
+// device accounting the merge needs (Result alone only carries ratios).
+type shardOutcome struct {
+	res Result
+	st  wl.Stats
+	ds  nvm.Stats
+}
+
+// RunSharded runs each shard on the exec pool and merges the outcomes:
+//
+//   - Served and Ideal writes are sums, so Normalized stays ΣServed/ΣIdeal.
+//   - WriteOverhead and HitRate are recomputed from summed wl.Stats, not
+//     averaged ratios — shards with more traffic weigh more, exactly as in
+//     a serial run.
+//   - WearGini is computed over the concatenated per-shard wear vectors,
+//     identical to the serial Gini when the decomposition is exact.
+//   - Death is latest-death: the merged device is dead only when every
+//     shard has exhausted its spares, mirroring the global worn-vs-spares
+//     predicate (a shard that dies early simply stops serving while the
+//     rest continue, as a real bank-partitioned device would).
+//
+// MaxWrites is split across shards with nvm.ShareLines; 0 keeps the
+// per-shard default (4x each shard's own ideal writes).
+func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
+	if len(shards) == 0 {
+		return Result{}, fmt.Errorf("lifetime: RunSharded with no shards")
+	}
+	if len(shards) == 1 {
+		return Run(shards[0].Dev, shards[0].Lv, shards[0].Stream, opts.Options), nil
+	}
+	start := time.Now()
+	pool := &exec.Pool{Workers: opts.Parallelism, Context: opts.Context}
+	n := uint64(len(shards))
+	outs, err := exec.Map(pool, len(shards), func(i int, _ uint64) (shardOutcome, error) {
+		sh := shards[i]
+		res := Run(sh.Dev, sh.Lv, sh.Stream, Options{
+			MaxWrites: nvm.ShareLines(opts.MaxWrites, uint64(i), n),
+			Workload:  opts.Workload,
+		})
+		return shardOutcome{res: res, st: sh.Lv.Stats(), ds: sh.Dev.Stats()}, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+
+	var st wl.Stats
+	var parts []nvm.Stats
+	var lines uint64
+	for i, out := range outs {
+		st.Add(out.st)
+		parts = append(parts, out.ds)
+		lines += shards[i].Dev.Lines()
+	}
+	ds := nvm.MergeStats(parts...)
+
+	// Concatenated wear vector: one buffer, each shard snapshots into its
+	// own capacity-bounded segment (no per-shard allocation).
+	wear := make([]uint32, lines)
+	off := uint64(0)
+	for _, sh := range shards {
+		ln := sh.Dev.Lines()
+		sh.Dev.WearCountsInto(wear[off : off : off+ln])
+		off += ln
+	}
+
+	res := Result{
+		Scheme:        shards[0].Lv.Name(),
+		Workload:      opts.Workload,
+		WriteOverhead: st.WriteOverhead(),
+		WearGini:      metrics.GiniUint32(wear),
+		HitRate:       st.HitRate(),
+		Elapsed:       time.Since(start),
+		TimedOut:      !ds.Dead,
+		Reads:         ds.TotalReads,
+		Uncorrectable: ds.Uncorrectable,
+	}
+	for _, out := range outs {
+		res.Served += out.res.Served
+		res.Ideal += out.res.Ideal
+	}
+	if res.Ideal > 0 {
+		res.Normalized = float64(res.Served) / float64(res.Ideal)
+	}
+	return res, nil
+}

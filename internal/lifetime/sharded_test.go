@@ -1,0 +1,143 @@
+package lifetime
+
+import (
+	"sync"
+	"testing"
+
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/wl"
+	"nvmwear/internal/workload"
+)
+
+// buildShards constructs n identical-geometry baseline shards with
+// per-shard seed substreams, the way the root-level runner does.
+func buildShards(n int, linesPerShard, spares uint64, endurance uint32, seed uint64) []ShardRun {
+	shards := make([]ShardRun, n)
+	for b := range shards {
+		dev := nvm.New(nvm.Config{Lines: linesPerShard, SpareLines: spares, Endurance: endurance})
+		shards[b] = ShardRun{
+			Dev:    dev,
+			Lv:     wl.NewIdentity(dev),
+			Stream: workload.NewBPA(rng.SeedStream(seed, uint64(b)), linesPerShard, 8),
+		}
+	}
+	return shards
+}
+
+// The merged result must equal what a by-hand serial merge of the same
+// shard runs produces: summed Served/Ideal, Gini over the concatenated
+// wear vector, recomputed overhead/hit-rate ratios, latest-death.
+func TestRunShardedMergeMatchesSerialMerge(t *testing.T) {
+	const n, lines = 4, 256
+	run := func(parallelism int) Result {
+		res, err := RunSharded(buildShards(n, lines, 8, 100, 7),
+			ShardedOptions{Options: Options{Workload: "BPA"}, Parallelism: parallelism})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	merged := run(4)
+
+	// Serial reference: identical shards, one at a time, merged by hand.
+	shards := buildShards(n, lines, 8, 100, 7)
+	var served, ideal uint64
+	var st wl.Stats
+	var wear []uint32
+	dead := true
+	for _, sh := range shards {
+		r := Run(sh.Dev, sh.Lv, sh.Stream, Options{Workload: "BPA"})
+		served += r.Served
+		ideal += r.Ideal
+		st.Add(sh.Lv.Stats())
+		wear = append(wear, sh.Dev.WearCounts()...)
+		dead = dead && !sh.Dev.Alive()
+	}
+	if merged.Served != served || merged.Ideal != ideal {
+		t.Fatalf("served/ideal %d/%d, want %d/%d", merged.Served, merged.Ideal, served, ideal)
+	}
+	if want := metrics.GiniUint32(wear); merged.WearGini != want {
+		t.Fatalf("gini %v, want %v over concatenated wear", merged.WearGini, want)
+	}
+	if merged.WriteOverhead != st.WriteOverhead() || merged.HitRate != st.HitRate() {
+		t.Fatalf("overhead/hit %v/%v, want %v/%v",
+			merged.WriteOverhead, merged.HitRate, st.WriteOverhead(), st.HitRate())
+	}
+	if merged.TimedOut != !dead {
+		t.Fatalf("TimedOut %v, want %v (latest-death)", merged.TimedOut, !dead)
+	}
+	if merged.Normalized != float64(served)/float64(ideal) {
+		t.Fatalf("normalized %v", merged.Normalized)
+	}
+
+	// Scheduling must not affect the merge: serial pool, same answer.
+	if again := run(1); again.Served != merged.Served || again.WearGini != merged.WearGini {
+		t.Fatalf("parallelism changed result: %+v vs %+v", again, merged)
+	}
+}
+
+// A single-shard list is the exact serial path.
+func TestRunShardedSingleShardIsSerial(t *testing.T) {
+	sharded, err := RunSharded(buildShards(1, 512, 8, 100, 7), ShardedOptions{Options: Options{Workload: "BPA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	shards := buildShards(1, 512, 8, 100, 7)
+	serial := Run(shards[0].Dev, shards[0].Lv, shards[0].Stream, Options{Workload: "BPA"})
+	if sharded.Served != serial.Served || sharded.WearGini != serial.WearGini ||
+		sharded.Normalized != serial.Normalized {
+		t.Fatalf("single-shard run diverged: %+v vs %+v", sharded, serial)
+	}
+}
+
+func TestRunShardedNoShards(t *testing.T) {
+	if _, err := RunSharded(nil, ShardedOptions{}); err == nil {
+		t.Fatal("want error for empty shard list")
+	}
+}
+
+// MaxWrites splits across shards and sums back: the merged run serves
+// exactly the budget when no shard dies first.
+func TestRunShardedSplitsWriteBudget(t *testing.T) {
+	const budget = 1000 // not divisible by 3: ShareLines must still sum exactly
+	res, err := RunSharded(buildShards(3, 256, 64, 1<<30, 7),
+		ShardedOptions{Options: Options{MaxWrites: budget, Workload: "BPA"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Served != budget {
+		t.Fatalf("served %d writes, want the full budget %d", res.Served, budget)
+	}
+	if !res.TimedOut {
+		t.Fatal("huge-endurance run should time out, not die")
+	}
+}
+
+// Race hammer: many concurrent sharded runs, each fanning out on its own
+// pool, all snapshotting wear and merging concurrently. Run under -race
+// (CI does) this guards the merge path against shared-state regressions.
+func TestRunShardedConcurrentMergeRace(t *testing.T) {
+	var wg sync.WaitGroup
+	results := make([]Result, 8)
+	for g := range results {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			res, err := RunSharded(buildShards(4, 128, 4, 50, 7),
+				ShardedOptions{Options: Options{Workload: "BPA"}, Parallelism: 4})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			results[g] = res
+		}(g)
+	}
+	wg.Wait()
+	for g := 1; g < len(results); g++ {
+		if results[g].Served != results[0].Served || results[g].WearGini != results[0].WearGini {
+			t.Fatalf("concurrent run %d diverged: %+v vs %+v", g, results[g], results[0])
+		}
+	}
+}

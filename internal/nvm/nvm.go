@@ -360,6 +360,7 @@ func (d *Device) Peek(pma uint64) uint64 {
 
 // Stats summarizes device wear.
 type Stats struct {
+	Lines       uint64 // physical data lines (weights MeanWear in MergeStats)
 	TotalWrites uint64
 	TotalReads  uint64
 	FailedLines uint64
@@ -382,6 +383,7 @@ type Stats struct {
 // Stats computes current wear statistics.
 func (d *Device) Stats() Stats {
 	s := Stats{
+		Lines:       uint64(len(d.writes)),
 		TotalWrites: d.totalWrites,
 		TotalReads:  d.totalReads,
 		FailedLines: d.failedLines,
@@ -417,10 +419,20 @@ func (d *Device) WearCounts() []uint32 { return d.writes }
 
 // WearCountsCopy returns a snapshot of the per-line wear counters. The
 // returned slice is owned by the caller.
-func (d *Device) WearCountsCopy() []uint32 {
-	out := make([]uint32, len(d.writes))
-	copy(out, d.writes)
-	return out
+func (d *Device) WearCountsCopy() []uint32 { return d.WearCountsInto(nil) }
+
+// WearCountsInto copies the per-line wear counters into buf, reusing its
+// backing array when it has the capacity, and returns the filled slice.
+// This is the allocation-free snapshot primitive for loops that take many
+// snapshots (the sharded-lifetime merge concatenates every bank's wear
+// vector into slices of one preallocated buffer).
+func (d *Device) WearCountsInto(buf []uint32) []uint32 {
+	if cap(buf) < len(d.writes) {
+		buf = make([]uint32, len(d.writes))
+	}
+	buf = buf[:len(d.writes)]
+	copy(buf, d.writes)
+	return buf
 }
 
 // IdealWrites returns the total number of writes the device would absorb
@@ -436,6 +448,80 @@ func (d *Device) IdealWrites() uint64 {
 	}
 	// Spares are assumed nominal-endurance.
 	return sum + uint64(d.cfg.Endurance)*d.cfg.SpareLines
+}
+
+// DefaultBanks is the device's bank count when Config.Banks is zero — the
+// paper's 32 x 2 GB geometry. It is also the finest shard layout the
+// sharded lifetime runner will decompose a run into.
+const DefaultBanks = 32
+
+// ShareLines splits a line budget across banks: an even share with the
+// remainder going to the lowest-numbered banks, so the per-bank shares sum
+// exactly to total. It is the one place the spare-pool and write-budget
+// split arithmetic lives, shared by Config.Shard and the sharded lifetime
+// runner.
+func ShareLines(total, bank, banks uint64) uint64 {
+	share := total / banks
+	if bank < total%banks {
+		share++
+	}
+	return share
+}
+
+// Shard derives the configuration of one bank-partitioned device view:
+// bank `bank` of a `banks`-way split of this device. Lines divide evenly
+// (the caller must ensure divisibility), the spare pool splits via
+// ShareLines, and the per-bank variation and fault streams are derived
+// from the device seed with rng.SeedStream so sharded runs stay
+// deterministic and independent per bank.
+func (c Config) Shard(bank, banks uint64) Config {
+	sub := c
+	sub.Lines = c.Lines / banks
+	sub.SpareLines = ShareLines(c.SpareLines, bank, banks)
+	sub.Seed = rng.SeedStream(c.Seed, bank)
+	sub.Banks = 1
+	if c.Fault.Enabled() {
+		sub.Fault.Seed = rng.SeedStream(c.Fault.Seed, bank)
+	}
+	return sub
+}
+
+// MergeStats folds per-bank device statistics into the global view: the
+// counters sum, MaxWear is the maximum across banks, MeanWear is weighted
+// by each bank's line count, and Dead — the global death predicate over the
+// merged worn-vs-spares accounting — holds only when every bank's spare
+// pool is exhausted (a device with any live bank still serves writes, the
+// latest-death semantics of the sharded lifetime merge).
+func MergeStats(parts ...Stats) Stats {
+	if len(parts) == 0 {
+		return Stats{}
+	}
+	out := Stats{Dead: true}
+	var weighted float64
+	for _, p := range parts {
+		out.Lines += p.Lines
+		out.TotalWrites += p.TotalWrites
+		out.TotalReads += p.TotalReads
+		out.FailedLines += p.FailedLines
+		out.SparesUsed += p.SparesUsed
+		out.SpareLines += p.SpareLines
+		out.TransientWriteFaults += p.TransientWriteFaults
+		out.WriteRetries += p.WriteRetries
+		out.RetryEscalations += p.RetryEscalations
+		out.StuckLineFaults += p.StuckLineFaults
+		out.CorrectedBits += p.CorrectedBits
+		out.ECCRemaps += p.ECCRemaps
+		out.Uncorrectable += p.Uncorrectable
+		if p.MaxWear > out.MaxWear {
+			out.MaxWear = p.MaxWear
+		}
+		weighted += p.MeanWear * float64(p.Lines)
+		out.Dead = out.Dead && p.Dead
+	}
+	if out.Lines > 0 {
+		out.MeanWear = weighted / float64(out.Lines)
+	}
+	return out
 }
 
 // String implements fmt.Stringer.

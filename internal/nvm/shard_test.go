@@ -1,0 +1,150 @@
+package nvm
+
+import (
+	"testing"
+
+	"nvmwear/internal/fault"
+	"nvmwear/internal/rng"
+)
+
+func TestShareLinesSumsExactly(t *testing.T) {
+	for _, c := range []struct{ total, banks uint64 }{
+		{0, 4}, {1, 4}, {3, 4}, {4, 4}, {1000, 3}, {1 << 16, 32}, {1<<16 + 7, 32},
+	} {
+		var sum uint64
+		var prev uint64
+		for b := uint64(0); b < c.banks; b++ {
+			s := ShareLines(c.total, b, c.banks)
+			if b > 0 && s > prev {
+				t.Fatalf("ShareLines(%d,%d,%d)=%d grew past bank %d's %d; remainder must go low",
+					c.total, b, c.banks, s, b-1, prev)
+			}
+			prev = s
+			sum += s
+		}
+		if sum != c.total {
+			t.Fatalf("ShareLines over %d banks sums to %d, want %d", c.banks, sum, c.total)
+		}
+	}
+}
+
+func TestConfigShard(t *testing.T) {
+	base := Config{
+		Lines:      1 << 12,
+		SpareLines: 67, // not divisible by 4: remainder lands on low banks
+		Endurance:  500,
+		Variation:  0.1,
+		Seed:       99,
+		Banks:      DefaultBanks,
+		Fault:      fault.Config{StuckAtRate: 1e-4, Seed: 41},
+	}
+	var spares uint64
+	for b := uint64(0); b < 4; b++ {
+		sub := base.Shard(b, 4)
+		if sub.Lines != base.Lines/4 {
+			t.Fatalf("bank %d lines = %d", b, sub.Lines)
+		}
+		if sub.Banks != 1 {
+			t.Fatalf("bank %d banks = %d, want 1 (a shard is its own device)", b, sub.Banks)
+		}
+		if sub.Seed != rng.SeedStream(base.Seed, b) {
+			t.Fatalf("bank %d seed not a substream of the device seed", b)
+		}
+		if sub.Fault.Seed != rng.SeedStream(base.Fault.Seed, b) {
+			t.Fatalf("bank %d fault seed not a substream", b)
+		}
+		if sub.Endurance != base.Endurance || sub.Variation != base.Variation {
+			t.Fatalf("bank %d per-line parameters changed: %+v", b, sub)
+		}
+		spares += sub.SpareLines
+	}
+	if spares != base.SpareLines {
+		t.Fatalf("shard spare pools sum to %d, want %d", spares, base.SpareLines)
+	}
+	// Faultless devices must stay faultless (Shard must not install a seed).
+	if sub := (Config{Lines: 64, Endurance: 10, Seed: 1}).Shard(0, 2); sub.Fault.Enabled() {
+		t.Fatalf("fault stream appeared on a faultless shard: %+v", sub.Fault)
+	}
+}
+
+func TestMergeStats(t *testing.T) {
+	a := Stats{Lines: 100, TotalWrites: 1000, TotalReads: 5, MaxWear: 40, MeanWear: 10,
+		FailedLines: 2, SparesUsed: 2, SpareLines: 4, Dead: false}
+	b := Stats{Lines: 300, TotalWrites: 200, TotalReads: 7, MaxWear: 90, MeanWear: 2,
+		FailedLines: 1, SparesUsed: 1, SpareLines: 4, Dead: true}
+	m := MergeStats(a, b)
+	if m.Lines != 400 || m.TotalWrites != 1200 || m.TotalReads != 12 ||
+		m.FailedLines != 3 || m.SparesUsed != 3 || m.SpareLines != 8 {
+		t.Fatalf("summed counters wrong: %+v", m)
+	}
+	if m.MaxWear != 90 {
+		t.Fatalf("MaxWear = %d, want max across banks", m.MaxWear)
+	}
+	// Line-weighted mean: (10*100 + 2*300) / 400 = 4.
+	if m.MeanWear != 4 {
+		t.Fatalf("MeanWear = %v, want line-weighted 4", m.MeanWear)
+	}
+	if m.Dead {
+		t.Fatal("merged device dead with a live bank; death must be latest-death")
+	}
+	if !MergeStats(b, b).Dead {
+		t.Fatal("all banks dead must merge dead")
+	}
+	if z := MergeStats(); z != (Stats{}) {
+		t.Fatalf("empty merge = %+v, want zero", z)
+	}
+}
+
+// MergeStats over real shard devices must agree with one whole device
+// driven identically: same uniform writes into each half vs the whole.
+func TestMergeStatsMatchesWholeDevice(t *testing.T) {
+	whole := New(Config{Lines: 64, SpareLines: 8, Endurance: 50})
+	left := New(Config{Lines: 32, SpareLines: 4, Endurance: 50})
+	right := New(Config{Lines: 32, SpareLines: 4, Endurance: 50})
+	for i := uint64(0); i < 64*20; i++ {
+		addr := i % 64
+		whole.Write(addr)
+		if addr < 32 {
+			left.Write(addr)
+		} else {
+			right.Write(addr - 32)
+		}
+	}
+	w, m := whole.Stats(), MergeStats(left.Stats(), right.Stats())
+	if w.TotalWrites != m.TotalWrites || w.MaxWear != m.MaxWear ||
+		w.MeanWear != m.MeanWear || w.Lines != m.Lines || w.Dead != m.Dead {
+		t.Fatalf("merged halves diverge from whole device:\nwhole %+v\nmerge %+v", w, m)
+	}
+}
+
+func TestWearCountsInto(t *testing.T) {
+	d := New(Config{Lines: 8, SpareLines: 2, Endurance: 100})
+	for i := 0; i < 5; i++ {
+		d.Write(2)
+	}
+	// Nil buffer: allocates.
+	got := d.WearCountsInto(nil)
+	if len(got) != 8 || got[2] != 5 {
+		t.Fatalf("WearCountsInto(nil) = %v", got)
+	}
+	// A snapshot, not an alias of the live counters.
+	got[2] = 99
+	if d.WearCounts()[2] != 5 {
+		t.Fatal("WearCountsInto returned the live slice")
+	}
+	// Sufficient capacity: reused, even with zero length.
+	buf := make([]uint32, 0, 16)
+	out := d.WearCountsInto(buf)
+	if len(out) != 8 || out[2] != 5 {
+		t.Fatalf("reused-buffer snapshot = %v", out)
+	}
+	if &out[0] != &buf[:1][0] {
+		t.Fatal("capacity-sufficient buffer was not reused")
+	}
+	// Insufficient capacity: falls back to allocating.
+	small := make([]uint32, 2)
+	out2 := d.WearCountsInto(small)
+	if len(out2) != 8 || out2[2] != 5 {
+		t.Fatalf("small-buffer snapshot = %v", out2)
+	}
+}

@@ -239,6 +239,15 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return payload, true
 }
 
+// Has reports whether an entry exists under key, without reading or
+// verifying it and without touching the hit/miss counters. It is a cheap
+// stat(2) probe for staleness reports; a later Get may still miss if the
+// entry turns out to be corrupt.
+func (s *Store) Has(key string) bool {
+	fi, err := os.Stat(s.entryPath(hashKey(key)))
+	return err == nil && fi.Mode().IsRegular()
+}
+
 // decodeEntry verifies an entry file's header and checksum, returning the
 // payload and an empty reason, or a non-empty human-readable reason why
 // the entry cannot be trusted.

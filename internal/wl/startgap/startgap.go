@@ -152,3 +152,7 @@ func (s *Scheme) OverheadBits() uint64 {
 	const counterBits = 32
 	return s.cfg.Regions * (2*lineBits + counterBits)
 }
+
+// Partitions implements wl.Partitionable: each region keeps its own gap and
+// start registers and never exchanges lines with another region.
+func (s *Scheme) Partitions() uint64 { return s.cfg.Regions }

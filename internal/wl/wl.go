@@ -44,6 +44,20 @@ type Leveler interface {
 	OverheadBits() uint64
 }
 
+// Partitionable marks schemes whose leveling decisions never cross a
+// partition boundary: the scheme is a product of independent sub-schemes
+// over contiguous address ranges, so running one instance per shard over a
+// sliced device is simulation-identical to one instance over the whole
+// device. Partitions reports the number of independent units (regions for
+// region-local schemes, lines for Identity); a sharded run is exact iff the
+// unit count divides evenly across shards. Globally-coupled schemes
+// (segment-swap's coldest-segment scan, PCM-S/MWSR global exchanges, TLSR's
+// outer refresh) must NOT implement this.
+type Partitionable interface {
+	Leveler
+	Partitions() uint64
+}
+
 // Stats is the shared accounting every scheme reports.
 type Stats struct {
 	DataWrites  uint64 // demand writes served
@@ -57,6 +71,21 @@ type Stats struct {
 
 	MetaFaults   uint64 // mapping-table corruptions detected by checksum (fault injection)
 	MetaRebuilds uint64 // table entries rebuilt from the inverse table
+}
+
+// Add accumulates o into s. Used to merge per-shard accounting into the
+// global view; every field is a sum, so merging is exact.
+func (s *Stats) Add(o Stats) {
+	s.DataWrites += o.DataWrites
+	s.DataReads += o.DataReads
+	s.SwapWrites += o.SwapWrites
+	s.MergeWrites += o.MergeWrites
+	s.TableWrites += o.TableWrites
+	s.Remaps += o.Remaps
+	s.CMTHits += o.CMTHits
+	s.CMTMisses += o.CMTMisses
+	s.MetaFaults += o.MetaFaults
+	s.MetaRebuilds += o.MetaRebuilds
 }
 
 // WriteOverhead returns extra writes as a fraction of demand writes — the
@@ -125,3 +154,6 @@ func (l *Identity) Stats() Stats { return l.stats }
 
 // OverheadBits implements Leveler.
 func (l *Identity) OverheadBits() uint64 { return 0 }
+
+// Partitions implements Partitionable: every line is independent.
+func (l *Identity) Partitions() uint64 { return l.lines }

@@ -1,0 +1,217 @@
+package nvmwear
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"nvmwear/internal/lifetime"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/wl"
+)
+
+// MaxShards caps how finely a single lifetime run decomposes — the device's
+// 32-bank geometry (nvm.DefaultBanks). Requesting more shards than banks
+// would split below the hardware's natural parallel cut.
+const MaxShards = 32
+
+// ShardPlan is the outcome of gating a run for sharded execution. Shards is
+// the shard count the run will actually use; when it is 1 despite a larger
+// request, Reason says why the run fell back to the serial path (globally
+// coupled scheme, indivisible geometry, workload with global state).
+type ShardPlan struct {
+	Shards int
+	Reason string
+}
+
+// PlanShards decides whether the (cfg, w) run can shard `requested` ways
+// without changing what is being simulated. The rule: a shard must be a
+// closed system. Schemes whose leveling is a product of independent
+// partition units (wl.Partitionable) shard exactly when the units divide
+// evenly across shards and each shard keeps the scheme's invariants (its
+// own CMT, at least one spare line). Globally-coupled schemes — segment
+// swapping's coldest-segment scan, TLSR's outer refresh, PCM-S/MWSR's
+// global region exchanges — and workloads with global state (RAA's single
+// hot address, file traces with one replay order) fall back to serial with
+// a reason rather than silently simulating something else.
+func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
+	if requested <= 1 {
+		return ShardPlan{Shards: 1}
+	}
+	if requested > MaxShards {
+		requested = MaxShards
+	}
+	cfg = cfg.withDefaults()
+	s := uint64(requested)
+
+	serial := func(why string) ShardPlan { return ShardPlan{Shards: 1, Reason: why} }
+	switch w.Kind {
+	case WorkloadRAA:
+		return serial("RAA hammers a single global address; splitting it changes the attack")
+	case WorkloadFile:
+		return serial("a file trace has one global replay order")
+	}
+	if cfg.Lines%s != 0 {
+		return serial(fmt.Sprintf("%d lines do not divide into %d shards", cfg.Lines, s))
+	}
+	if cfg.SpareLines < s {
+		return serial(fmt.Sprintf("%d spare lines cannot cover %d shards", cfg.SpareLines, s))
+	}
+
+	switch cfg.Scheme {
+	case Baseline:
+		// Identity: every line independent; divisibility already checked.
+	case RBSG:
+		if cfg.Regions%s != 0 {
+			return serial(fmt.Sprintf("%d RBSG regions do not divide into %d shards", cfg.Regions, s))
+		}
+	case StartGap:
+		return serial("start-gap levels one global region")
+	case SegmentSwap:
+		return serial("segment swapping scans for the globally least-worn segment")
+	case TLSR:
+		return serial("TLSR's outer level migrates subregions across the whole device")
+	case PCMS:
+		return serial("PCM-S exchanges random regions device-wide")
+	case MWSR:
+		return serial("MWSR exchanges random regions device-wide")
+	case NWL, SAWL:
+		// Tiered schemes partition at maximum-granularity-region boundaries;
+		// each shard runs its own controller (CMT + GTD) over its bank — the
+		// per-bank-controller model.
+		perShard := cfg.Lines / s
+		if perShard%cfg.MaxGranLines != 0 {
+			return serial(fmt.Sprintf("shard of %d lines does not align to the %d-line max region", perShard, cfg.MaxGranLines))
+		}
+		if uint64(cfg.CMTEntries) < s {
+			return serial(fmt.Sprintf("%d CMT entries cannot split %d ways", cfg.CMTEntries, s))
+		}
+	default:
+		return serial(fmt.Sprintf("scheme %q has no shard analysis", cfg.Scheme))
+	}
+	return ShardPlan{Shards: requested}
+}
+
+// shardSystemConfig derives shard `bank`'s system configuration from the
+// defaulted whole-device configuration: a 1/banks slice of lines and
+// regions, a ShareLines share of the spare pool, per-shard CMT capacity,
+// and seed substreams (device variation and fault injection) so shards
+// never share randomness. Adaptation windows and periods are deliberately
+// NOT scaled: each shard models one bank's controller keeping the paper's
+// time constants, not a 1/banks-speed miniature.
+func shardSystemConfig(cfg SystemConfig, bank, banks uint64) SystemConfig {
+	sub := cfg
+	sub.Lines = cfg.Lines / banks
+	sub.SpareLines = nvm.ShareLines(cfg.SpareLines, bank, banks)
+	sub.Seed = rng.SeedStream(cfg.Seed, bank)
+	if cfg.Scheme == RBSG {
+		sub.Regions = cfg.Regions / banks
+	}
+	if cfg.Scheme == NWL || cfg.Scheme == SAWL {
+		if sub.CMTEntries = cfg.CMTEntries / int(banks); sub.CMTEntries < 1 {
+			sub.CMTEntries = 1
+		}
+	}
+	if cfg.Fault.Enabled() {
+		sub.Fault.Seed = rng.SeedStream(cfg.Fault.Seed, bank)
+	}
+	return sub
+}
+
+// ShardedRunOptions controls RunShardedLifetime.
+type ShardedRunOptions struct {
+	// Shards is the requested shard count; <= 1 runs serial, values above
+	// MaxShards are capped. The plan may still fall back to 1 (see
+	// PlanShards).
+	Shards int
+	// Parallelism bounds concurrently running shards; <= 0 uses GOMAXPROCS.
+	Parallelism int
+	// Context, when non-nil, cancels the run.
+	Context context.Context
+}
+
+// RunShardedLifetime is RunLifetime decomposed across the bank geometry:
+// it gates the run with PlanShards, builds one System and workload
+// substream per shard, runs them on the exec pool, and merges the results
+// (lifetime.RunSharded). The returned plan tells the caller what actually
+// ran — callers surface plan.Reason so a serial fallback is never silent.
+//
+// A fixed (cfg, w, shards) triple is fully deterministic: shard b's device,
+// scheme, fault and workload streams are all derived with
+// rng.SeedStream(seed, b), so neither the parallelism level nor scheduling
+// affects the merged result.
+func RunShardedLifetime(cfg SystemConfig, w WorkloadSpec, maxWrites uint64, opts ShardedRunOptions) (LifetimeResult, ShardPlan, error) {
+	plan := PlanShards(cfg, w, opts.Shards)
+	if plan.Shards <= 1 {
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			return LifetimeResult{}, plan, err
+		}
+		res, err := sys.RunLifetime(w, maxWrites)
+		return res, plan, err
+	}
+
+	dcfg := cfg.withDefaults()
+	banks := uint64(plan.Shards)
+	shards := make([]lifetime.ShardRun, plan.Shards)
+	wname := ""
+	for b := uint64(0); b < banks; b++ {
+		scfg := shardSystemConfig(dcfg, b, banks)
+		sys, err := NewSystem(scfg)
+		if err != nil {
+			return LifetimeResult{}, plan, fmt.Errorf("shard %d/%d: %w", b, banks, err)
+		}
+		if _, ok := sys.lv.(wl.Partitionable); !ok && b == 0 {
+			// PlanShards and the scheme registry must agree; catching a
+			// mismatch here keeps a future scheme from sharding by accident.
+			return LifetimeResult{}, plan, fmt.Errorf("nvmwear: scheme %q planned for sharding but is not wl.Partitionable", dcfg.Scheme)
+		}
+		wb := w
+		wb.Seed = rng.SeedStream(w.Seed, b)
+		stream, name, err := wb.Build(scfg.Lines)
+		if err != nil {
+			return LifetimeResult{}, plan, fmt.Errorf("shard %d/%d: %w", b, banks, err)
+		}
+		wname = name
+		shards[b] = lifetime.ShardRun{Dev: sys.dev, Lv: sys.lv, Stream: stream}
+	}
+	res, err := lifetime.RunSharded(shards, lifetime.ShardedOptions{
+		Options:     lifetime.Options{MaxWrites: maxWrites, Workload: wname},
+		Parallelism: opts.Parallelism,
+		Context:     opts.Context,
+	})
+	return res, plan, err
+}
+
+// sharder threads the sweep-level -shards knob through a figure's jobs. It
+// deduplicates fallback log lines — a fig16 sweep runs the same
+// globally-coupled scheme across 14 benchmarks, and one reason line per
+// scheme is signal while 14 are noise.
+type sharder struct {
+	sc   Scale
+	mu   sync.Mutex
+	seen map[string]bool
+}
+
+func newSharder(sc Scale) *sharder { return &sharder{sc: sc, seen: map[string]bool{}} }
+
+// run executes one lifetime job under the sweep's shard policy, logging
+// any serial fallback once per (scheme, reason).
+func (s *sharder) run(cfg SystemConfig, w WorkloadSpec, maxWrites uint64) (LifetimeResult, error) {
+	res, plan, err := RunShardedLifetime(cfg, w, maxWrites, ShardedRunOptions{
+		Shards:  s.sc.Shards,
+		Context: s.sc.Context,
+	})
+	if err == nil && plan.Reason != "" && s.sc.Logf != nil {
+		key := string(cfg.Scheme) + "\x00" + plan.Reason
+		s.mu.Lock()
+		first := !s.seen[key]
+		s.seen[key] = true
+		s.mu.Unlock()
+		if first {
+			s.sc.Logf("shards: %s runs serial: %s", cfg.Scheme, plan.Reason)
+		}
+	}
+	return res, err
+}

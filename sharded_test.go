@@ -1,0 +1,308 @@
+package nvmwear
+
+import (
+	"math"
+	"os"
+	"sync"
+	"testing"
+
+	"nvmwear/internal/wl"
+)
+
+// This file holds the sharded-execution guarantees at the system level:
+// PlanShards' gating must agree with the scheme registry's Partitionable
+// capability, -shards 1 must stay byte-identical to the serial goldens, a
+// fixed shard count must be fully deterministic, and sharded runs of
+// partitionable schemes must reproduce the serial lifetime within
+// tolerance (see DESIGN.md Sec 10 for why exact equality is not the
+// contract across shard counts).
+
+// attackConfig is a shard-friendly BPA attack system: lines, spares,
+// regions, and max-granularity units all divide evenly at 4 shards.
+func attackConfig(scheme SchemeKind) SystemConfig {
+	return SystemConfig{
+		Scheme:     scheme,
+		Lines:      1 << 12,
+		SpareLines: 64,
+		Endurance:  400,
+		Regions:    1024,
+		Period:     8,
+		CMTEntries: 256,
+		Seed:       7,
+	}
+}
+
+func bpaSpec() WorkloadSpec { return WorkloadSpec{Kind: WorkloadBPA, Seed: 7} }
+
+func TestPlanShards(t *testing.T) {
+	cases := []struct {
+		name      string
+		cfg       SystemConfig
+		w         WorkloadSpec
+		requested int
+		shards    int
+		serial    bool // expect a fallback reason
+	}{
+		{"requested zero", attackConfig(SAWL), bpaSpec(), 0, 1, false},
+		{"requested one", attackConfig(SAWL), bpaSpec(), 1, 1, false},
+		{"capped at banks", attackConfig(Baseline), bpaSpec(), 64, MaxShards, false},
+		{"raa is global", attackConfig(Baseline), WorkloadSpec{Kind: WorkloadRAA}, 4, 1, true},
+		{"file trace is global", attackConfig(Baseline), WorkloadSpec{Kind: WorkloadFile, Path: "x"}, 4, 1, true},
+		{"indivisible lines", SystemConfig{Scheme: Baseline, Lines: 100, SpareLines: 16, Endurance: 100}, bpaSpec(), 8, 1, true},
+		{"too few spares", SystemConfig{Scheme: Baseline, Lines: 1 << 10, SpareLines: 2, Endurance: 100}, bpaSpec(), 4, 1, true},
+		{"baseline shards", attackConfig(Baseline), bpaSpec(), 4, 4, false},
+		{"rbsg shards", attackConfig(RBSG), bpaSpec(), 4, 4, false},
+		{"rbsg indivisible regions", SystemConfig{Scheme: RBSG, Lines: 1 << 12, SpareLines: 64, Endurance: 100, Regions: 6}, bpaSpec(), 4, 1, true},
+		{"startgap is one region", attackConfig(StartGap), bpaSpec(), 4, 1, true},
+		{"segswap scans globally", attackConfig(SegmentSwap), bpaSpec(), 4, 1, true},
+		{"tlsr outer level is global", attackConfig(TLSR), bpaSpec(), 4, 1, true},
+		{"pcms exchanges globally", attackConfig(PCMS), bpaSpec(), 4, 1, true},
+		{"mwsr exchanges globally", attackConfig(MWSR), bpaSpec(), 4, 1, true},
+		{"sawl shards", attackConfig(SAWL), bpaSpec(), 4, 4, false},
+		{"nwl shards", attackConfig(NWL), bpaSpec(), 4, 4, false},
+		{"sawl misaligned max region", attackConfig(SAWL), bpaSpec(), 32, 1, true}, // 128-line shard < 256-line max region
+		{"sawl cmt too small", SystemConfig{Scheme: SAWL, Lines: 1 << 12, SpareLines: 64, Endurance: 100, CMTEntries: 2}, bpaSpec(), 4, 1, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			plan := PlanShards(c.cfg, c.w, c.requested)
+			if plan.Shards != c.shards {
+				t.Fatalf("Shards = %d, want %d (reason %q)", plan.Shards, c.shards, plan.Reason)
+			}
+			if (plan.Reason != "") != c.serial {
+				t.Fatalf("Reason = %q, want fallback reason: %v", plan.Reason, c.serial)
+			}
+		})
+	}
+}
+
+// PlanShards' per-scheme gating and the scheme registry's Partitionable
+// capability must never disagree: a scheme planned for sharding whose
+// instance cannot partition would simulate something else entirely (the
+// runner double-checks at build time; this pins the table itself).
+func TestPlanShardsAgreesWithPartitionable(t *testing.T) {
+	for _, scheme := range []SchemeKind{Baseline, SegmentSwap, StartGap, RBSG, TLSR, PCMS, MWSR, NWL, SAWL} {
+		cfg := attackConfig(scheme)
+		sys, err := NewSystem(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, partitionable := sys.lv.(wl.Partitionable)
+		planned := PlanShards(cfg, bpaSpec(), 4).Shards > 1
+		if planned && !partitionable {
+			t.Errorf("%s: planned for sharding but the scheme is not wl.Partitionable", scheme)
+		}
+		if !planned && partitionable && scheme != StartGap {
+			// StartGap builds as a 1-region startgap.Scheme: the type can
+			// partition but the instance has one unit, so PlanShards
+			// correctly refuses what the interface would allow.
+			t.Errorf("%s: wl.Partitionable but PlanShards refuses a friendly geometry", scheme)
+		}
+	}
+}
+
+// -shards 1 (and 0, and any unset Scale.Shards) is the serial path, bit for
+// bit: the pre-shard golden tables must keep reproducing.
+func TestShardsOneByteIdenticalToSerialGolden(t *testing.T) {
+	want, err := os.ReadFile("testdata/fig16a_tiny.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{0, 1} {
+		sc := tinyScale()
+		sc.Shards = shards
+		got := renderFig(RunFig16(sc, true))
+		if got != string(want) {
+			t.Errorf("-shards %d deviates from the serial golden:\n--- got ---\n%s--- want ---\n%s",
+				shards, got, want)
+		}
+	}
+}
+
+// A fixed shard count is as deterministic as the serial path: the table is
+// byte-identical across worker counts and repeated runs.
+func TestFixedShardsDeterministicAcrossWorkerCounts(t *testing.T) {
+	run := func(j int) string {
+		sc := tinyScale()
+		sc.Shards = 4
+		return renderFig(RunFig15(withParallelism(sc, j)))
+	}
+	first := run(1)
+	if again := run(1); again != first {
+		t.Fatalf("-shards 4 table differs between repeated -j1 runs:\n%s\nvs\n%s", first, again)
+	}
+	if parallel := run(8); parallel != first {
+		t.Fatalf("-shards 4 table differs between -j1 and -j8:\n--- j1 ---\n%s--- j8 ---\n%s",
+			first, parallel)
+	}
+}
+
+// A sharded run of a partitionable scheme reproduces the serial lifetime
+// within tolerance. Exact equality is not the contract: shards draw from
+// per-bank seed substreams and split the spare pool, so the sharded run is
+// a statistically equivalent bank-interleaved device, not a replay.
+func TestShardedLifetimeWithinToleranceOfSerial(t *testing.T) {
+	cfg := attackConfig(SAWL)
+	w := bpaSpec()
+	serial, plan, err := RunShardedLifetime(cfg, w, 0, ShardedRunOptions{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards != 1 {
+		t.Fatalf("serial plan = %+v", plan)
+	}
+	sharded, plan, err := RunShardedLifetime(cfg, w, 0, ShardedRunOptions{Shards: 4, Parallelism: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards != 4 || plan.Reason != "" {
+		t.Fatalf("sharded plan = %+v, want 4 shards with no fallback", plan)
+	}
+	if serial.Normalized <= 0 || sharded.Normalized <= 0 {
+		t.Fatalf("degenerate lifetimes: serial %v sharded %v", serial.Normalized, sharded.Normalized)
+	}
+	if rel := math.Abs(sharded.Normalized-serial.Normalized) / serial.Normalized; rel > 0.30 {
+		t.Fatalf("sharded lifetime %.4f deviates %.0f%% from serial %.4f (tolerance 30%%)",
+			sharded.Normalized, 100*rel, serial.Normalized)
+	}
+
+	// The sharded result itself is deterministic: scheduling-free replay.
+	again, _, err := RunShardedLifetime(cfg, w, 0, ShardedRunOptions{Shards: 4, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Served != sharded.Served || again.WearGini != sharded.WearGini ||
+		again.Normalized != sharded.Normalized {
+		t.Fatalf("sharded run not deterministic: %+v vs %+v", again, sharded)
+	}
+}
+
+// A non-partitionable scheme under -shards must run serial — and produce
+// exactly the serial result, reason attached.
+func TestShardedFallbackIsExactlySerial(t *testing.T) {
+	cfg := attackConfig(PCMS)
+	w := bpaSpec()
+	serial, _, err := RunShardedLifetime(cfg, w, 0, ShardedRunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, plan, err := RunShardedLifetime(cfg, w, 0, ShardedRunOptions{Shards: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.Shards != 1 || plan.Reason == "" {
+		t.Fatalf("plan = %+v, want serial fallback with reason", plan)
+	}
+	if fallback.Normalized != serial.Normalized || fallback.WearGini != serial.WearGini {
+		t.Fatalf("fallback differs from serial: %+v vs %+v", fallback, serial)
+	}
+}
+
+// Streaming must deliver every series, each exactly equal to its final
+// returned form, as soon as it completes — the contract wlsim's partial-SVG
+// rendering builds on.
+func TestSeriesDoneStreamsFinalSeries(t *testing.T) {
+	sc := tinyScale()
+	sc.Parallelism = 4
+	var mu sync.Mutex
+	streamed := map[string]Series{}
+	sc.SeriesDone = func(fig string, s Series) {
+		mu.Lock()
+		defer mu.Unlock()
+		if fig != "fig3" {
+			t.Errorf("SeriesDone fig = %q", fig)
+		}
+		if _, dup := streamed[s.Label]; dup {
+			t.Errorf("series %q streamed twice", s.Label)
+		}
+		streamed[s.Label] = s
+	}
+	final := must(RunFig3(sc))
+	if len(streamed) != len(final) {
+		t.Fatalf("%d series streamed, %d returned", len(streamed), len(final))
+	}
+	for _, f := range final {
+		s, ok := streamed[f.Label]
+		if !ok {
+			t.Fatalf("series %q never streamed", f.Label)
+		}
+		if len(s.X) != len(f.X) {
+			t.Fatalf("series %q streamed with %d points, final has %d", f.Label, len(s.X), len(f.X))
+		}
+		for i := range f.X {
+			if s.X[i] != f.X[i] || s.Y[i] != f.Y[i] {
+				t.Fatalf("series %q point %d: streamed (%v,%v) != final (%v,%v)",
+					f.Label, i, s.X[i], s.Y[i], f.X[i], f.Y[i])
+			}
+		}
+	}
+}
+
+// The staleness planner must predict exactly the job lists the runners
+// submit: any drift between sweepPlan and a runner shows up here as a
+// job-count mismatch against the runner's own Progress total.
+func TestSweepPlanMatchesRunners(t *testing.T) {
+	cases := []struct {
+		fig string
+		run func(sc Scale) error
+	}{
+		{"fig3", func(sc Scale) error { _, err := RunFig3(sc); return err }},
+		{"fig5", func(sc Scale) error { _, err := RunFig5(sc); return err }},
+		{"fig12", func(sc Scale) error { _, err := RunFig12(sc); return err }},
+		{"fig13", func(sc Scale) error { _, _, err := RunFig13(sc); return err }},
+		{"fig14", func(sc Scale) error { _, err := RunFig14(sc); return err }},
+		{"fig15", func(sc Scale) error { _, err := RunFig15(sc); return err }},
+	}
+	for _, c := range cases {
+		t.Run(c.fig, func(t *testing.T) {
+			sc := tinyScale()
+			plan := sc.sweepPlan(c.fig)
+			if len(plan) != 1 {
+				t.Fatalf("sweepPlan(%q) = %d sweeps, want 1", c.fig, len(plan))
+			}
+			var total int
+			sc.Progress = func(done, tot int) { total = tot }
+			if err := c.run(sc); err != nil {
+				t.Fatal(err)
+			}
+			if plan[0].jobs != total {
+				t.Fatalf("planner predicts %d jobs, runner submitted %d", plan[0].jobs, total)
+			}
+			if plan[0].fig != c.fig {
+				t.Fatalf("planner fig %q, want %q", plan[0].fig, c.fig)
+			}
+		})
+	}
+}
+
+// CacheFreshness probes real store entries: all-stale before a run, fully
+// cached after, and salted per shard layout (a sharded sweep does not
+// claim the serial sweep's cache entries).
+func TestCacheFreshnessTracksStore(t *testing.T) {
+	sc := tinyScale()
+	sc.Cache = openCache(t, t.TempDir())
+
+	before := sc.CacheFreshness("fig12")
+	if len(before) != 1 || before[0].Cached != 0 || before[0].Stale() != before[0].Jobs {
+		t.Fatalf("cold-cache freshness = %+v, want all stale", before)
+	}
+	if _, err := RunFig12(sc); err != nil {
+		t.Fatal(err)
+	}
+	after := sc.CacheFreshness("fig12")
+	if len(after) != 1 || after[0].Stale() != 0 || after[0].Cached != after[0].Jobs {
+		t.Fatalf("warm-cache freshness = %+v, want fully cached", after)
+	}
+
+	// A different shard layout salts the keys: nothing is falsely fresh.
+	sharded := sc
+	sharded.Shards = 4
+	if f := sharded.CacheFreshness("fig12"); f[0].Cached != 0 {
+		t.Fatalf("sharded layout reports %d serial entries as fresh", f[0].Cached)
+	}
+
+	// No cache open: the report is nil, not a panic.
+	if f := tinyScale().CacheFreshness("fig12"); f != nil {
+		t.Fatalf("cacheless freshness = %+v, want nil", f)
+	}
+}

@@ -1,0 +1,99 @@
+package nvmwear
+
+import (
+	"fmt"
+
+	"nvmwear/internal/workload"
+)
+
+// This file implements the pre-run cache staleness report behind
+// `wlsim all`: before an experiment executes, the planner below predicts
+// its exact job list (same fig identities, counts, and cache-key salting as
+// the runners) and probes the open result store for each key — so a whole
+// experiment that is fully cached is visibly "0 stale" before any
+// simulation starts.
+
+// FigFreshness reports one sweep's cache coverage: how many of its jobs
+// already have a stored result under the current scale, seed and shard
+// layout.
+type FigFreshness struct {
+	Fig    string // the sweep's cache identity (cacheKey fig)
+	Jobs   int    // total jobs the sweep will submit
+	Cached int    // jobs whose key is already in the store
+}
+
+// Stale returns the number of jobs that will actually execute.
+func (f FigFreshness) Stale() int { return f.Jobs - f.Cached }
+
+// cacheProber is the optional fast-probe face of a ResultCache: a stat-only
+// existence check that does not read, verify, or count as a hit/miss.
+// internal/store.Store implements it.
+type cacheProber interface{ Has(key string) bool }
+
+// CacheFreshness predicts the named experiment's sweeps and probes the open
+// result store for every job key, without executing anything. It returns
+// nil when the scale has no cache open, the cache cannot probe cheaply, or
+// the experiment has no cacheable sweep (table1, overhead, project).
+//
+// The per-figure job counts mirror the runners' job-list construction; a
+// regression test pins them to the counts the runners actually submit.
+func (sc Scale) CacheFreshness(experiment string) []FigFreshness {
+	probe, ok := sc.Cache.(cacheProber)
+	if !ok {
+		return nil
+	}
+	var out []FigFreshness
+	for _, p := range sc.sweepPlan(experiment) {
+		f := FigFreshness{Fig: p.fig, Jobs: p.jobs}
+		for i := 0; i < p.jobs; i++ {
+			if probe.Has(sc.cacheKey(p.fig, i)) {
+				f.Cached++
+			}
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// sweepSpec is one planned sweep: its cache identity and job count.
+type sweepSpec struct {
+	fig  string
+	jobs int
+}
+
+// sweepPlan returns the sweeps the named experiment will run. Counts are
+// derived from the same inputs the runners use (regionSweep, the shared
+// scheme/benchmark lists), so planner and runner cannot drift silently —
+// and TestSweepPlanMatchesRunners pins the rest.
+func (sc Scale) sweepPlan(experiment string) []sweepSpec {
+	rs := len(regionSweep(sc.AttackLines))
+	nb := len(workload.Names())
+	one := func(fig string, jobs int) []sweepSpec { return []sweepSpec{{fig, jobs}} }
+	switch experiment {
+	case "fig3":
+		return one("fig3", 2*4*rs) // 2 endurance panels x 4 periods
+	case "fig4":
+		return one("fig4", 2*2*4*rs) // 2 panels x 2 schemes x 4 periods
+	case "fig5":
+		return one("fig5", 2*2*len(fig5Budgets))
+	case "fig12":
+		return one("fig12", len(scaledWindows(sc)))
+	case "fig13":
+		return one("fig13", len(scaledWindows(sc)))
+	case "fig14":
+		return one("fig14", 3*len(fig14Benches)) // NWL-4, NWL-64, SAWL per bench
+	case "fig15":
+		return one("fig15", 2*3*4) // 2 panels x {PCMS,MWSR,SAWL} x 4 periods
+	case "fig16":
+		return []sweepSpec{
+			{"fig16a", len(fig16Schemes) * nb},
+			{"fig16b", len(fig16Schemes) * nb},
+		}
+	case "fig17":
+		return one("fig17", (1+len(Fig17Schemes))*nb) // baseline row + schemes
+	case "fault":
+		return one(fmt.Sprintf("fault:%v:%v", FaultSchemes, FaultRates),
+			len(FaultSchemes)*len(FaultRates))
+	}
+	return nil
+}
