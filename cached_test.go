@@ -156,23 +156,35 @@ func TestCorruptCacheEntryRecoversEndToEnd(t *testing.T) {
 // instead of serving stale results.
 func TestCacheKeysCarryVersionSalt(t *testing.T) {
 	sc := tinyScale()
-	key := sc.cacheKey("fig3", 7)
+	key := sc.cacheKey("fig3", true, 7)
 	if !strings.HasPrefix(key, resultsVersion+"|") {
 		t.Fatalf("cache key %q lacks the %q salt prefix", key, resultsVersion)
 	}
-	other := sc.cacheKey("fig3", 8)
+	other := sc.cacheKey("fig3", true, 8)
 	if key == other {
 		t.Fatal("distinct job indices share a cache key")
 	}
 	scaled := sc
 	scaled.Requests *= 2
-	if scaled.cacheKey("fig3", 7) == key {
+	if scaled.cacheKey("fig3", true, 7) == key {
 		t.Fatal("distinct scales share a cache key")
 	}
 	seeded := sc
 	seeded.Seed++
-	if seeded.cacheKey("fig3", 7) == key {
+	if seeded.cacheKey("fig3", true, 7) == key {
 		t.Fatal("distinct seeds share a cache key")
+	}
+
+	// Shard-layout salting is per experiment: a sharded sweep's keys change
+	// with the shard count, while an experiment the sharder never touches
+	// keeps the same (serial) keys at every -shards value.
+	sharded := sc
+	sharded.Shards = 4
+	if sharded.cacheKey("fig3", true, 7) == key {
+		t.Fatal("sharded layout shares the serial cache key")
+	}
+	if sharded.cacheKey("fig3", false, 7) != key {
+		t.Fatal("unsharded experiment's key varies with the shard layout")
 	}
 }
 

@@ -3,10 +3,10 @@
 //
 // Usage:
 //
-//	wlsim [-scale small|medium|large] [-seed N] [-j N] <experiment>
+//	wlsim [-scale tiny|small|medium|large] [-seed N] [-j N] <experiment>
 //
-// where <experiment> is one of: table1, fig3, fig4, fig5, fig12, fig13,
-// fig14, fig15, fig16, fig17, overhead, fault, all.
+// where <experiment> is any name in the package registry (`wlsim list`
+// prints the catalogue), or `all` for every experiment marked for it.
 //
 // Sweeps fan out across -j worker goroutines (default: all cores). Output
 // tables are byte-identical for every -j value: jobs are independent
@@ -21,7 +21,10 @@
 //
 // Each experiment prints the same rows/series the paper reports, on a
 // scaled-down device (see EXPERIMENTS.md for the scaling rules and the
-// paper-vs-measured record).
+// paper-vs-measured record). All per-experiment behavior — dispatch, job
+// planning, cache freshness, rendering — comes from the nvmwear experiment
+// registry through nvmwear.Driver; this file only parses flags and wires
+// signals and stderr.
 package main
 
 import (
@@ -37,12 +40,11 @@ import (
 	"time"
 
 	"nvmwear"
-	"nvmwear/internal/metrics"
 	"nvmwear/internal/store"
 )
 
 func main() {
-	scaleName := flag.String("scale", "medium", "experiment scale: small|medium|large")
+	scaleName := flag.String("scale", "medium", "experiment scale: tiny|small|medium|large")
 	seed := flag.Uint64("seed", 42, "experiment seed")
 	workers := flag.Int("j", runtime.GOMAXPROCS(0), "parallel sweep jobs (0 = all cores)")
 	shards := flag.Int("shards", 1, "per-bank shards per lifetime run (0 = auto: min(cores, 32))")
@@ -56,6 +58,7 @@ func main() {
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the -cache store before running")
+	force := flag.Bool("force", false, "all: re-run experiments even when fully cached")
 	flag.Usage = usage
 	flag.Parse()
 	if *cacheClear && *cacheDir == "" {
@@ -95,10 +98,17 @@ func main() {
 	default:
 		sc.Shards = *shards
 	}
-	// Diagnostics (shard fallbacks, staleness) go to stderr so stdout stays
-	// machine-readable; clear any live progress counter first.
+	// Diagnostics (shard fallbacks, staleness, skip notices) go to stderr so
+	// stdout stays machine-readable; clear any live progress counter first.
 	sc.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "\r\033[K"+format+"\n", args...)
+	}
+	sc.SweepScheme = nvmwear.SchemeKind(*sweepScheme)
+	sc.Project = nvmwear.ProjectParams{
+		Normalized:    *normalized,
+		Endurance:     uint64(*endurance),
+		CapacityGB:    *capacityGB,
+		BandwidthGBps: *bandwidthGB,
 	}
 
 	// -cache: open (or create) the crash-safe result store. Completed
@@ -141,76 +151,45 @@ func main() {
 	defer stopSignals()
 	sc.Context = ctx
 
-	var currentFig string
-	var jobsDone, jobsTotal int
+	d := &nvmwear.Driver{
+		Scale:  sc,
+		Out:    os.Stdout,
+		Format: *format,
+		SVGDir: *svgDir,
+		Force:  *force,
+	}
 	if !*quiet {
 		// Per-job progress on stderr: one carriage-returned counter line
-		// per sweep, cleared when the sweep completes.
-		sc.Progress = func(done, total int) {
-			jobsDone, jobsTotal = done, total
-			fmt.Fprintf(os.Stderr, "\r%s: job %d/%d", currentFig, done, total)
+		// per sweep, cleared when the sweep completes; plus a notice as
+		// each series of a figure completes (pipeline rendering).
+		d.Progress = func(name string, done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%s: job %d/%d", name, done, total)
 			if done == total {
 				fmt.Fprint(os.Stderr, "\r\033[K")
 			}
 		}
-	} else {
-		sc.Progress = func(done, total int) { jobsDone, jobsTotal = done, total }
+		d.SeriesDone = func(fig string, s nvmwear.Series) {
+			fmt.Fprintf(os.Stderr, "\r\033[K%s: series %q complete\n", fig, s.Label)
+		}
 	}
 	// WLSIM_JOB_DELAY_MS inserts a pause after every completed sweep job —
 	// a test hook that widens the window for signal-delivery integration
 	// tests without slowing real runs.
 	if ms, _ := strconv.Atoi(os.Getenv("WLSIM_JOB_DELAY_MS")); ms > 0 {
-		inner := sc.Progress
-		sc.Progress = func(done, total int) {
+		inner := d.Progress
+		d.Progress = func(name string, done, total int) {
 			time.Sleep(time.Duration(ms) * time.Millisecond)
-			inner(done, total)
+			if inner != nil {
+				inner(name, done, total)
+			}
 		}
-	}
-	// Pipeline rendering: each completed series streams to stderr — and,
-	// with -svg, into an accumulating <fig>.partial.svg — the moment its
-	// last job finishes, instead of waiting for the whole sweep. The final
-	// emit replaces the partial file with the complete figure.
-	partialSeries := map[string][]nvmwear.Series{}
-	partialFiles := map[string]bool{}
-	removePartials := func() {
-		for path := range partialFiles {
-			os.Remove(path)
-		}
-		partialSeries = map[string][]nvmwear.Series{}
-		partialFiles = map[string]bool{}
-	}
-	sc.SeriesDone = func(fig string, s nvmwear.Series) {
-		if !*quiet {
-			fmt.Fprintf(os.Stderr, "\r\033[K%s: series %q complete\n", fig, s.Label)
-		}
-		if *svgDir == "" {
-			return
-		}
-		// Best-effort: a failed partial render never fails the sweep.
-		partialSeries[fig] = append(partialSeries[fig], s)
-		path := *svgDir + "/" + fig + ".partial.svg"
-		f, err := os.Create(path)
-		if err != nil {
-			return
-		}
-		if nvmwear.WriteSeriesSVG(f, fig+" (partial)", "x", "value", false, partialSeries[fig]) == nil {
-			partialFiles[path] = true
-		}
-		f.Close()
 	}
 
-	// Per-job wall times, fed by the pool after each completed job (zero
-	// for cache hits, which are excluded from the percentiles below).
-	var jobTimes []float64
-	sc.JobTime = func(elapsed time.Duration) {
-		if elapsed > 0 {
-			jobTimes = append(jobTimes, float64(elapsed)/float64(time.Millisecond))
-		}
-	}
-	// fail finishes an experiment that returned an error, after its partial
-	// results (if any) were emitted: interruption exits 130, anything else 1.
-	// The cache is closed first so its lock releases cleanly; completed jobs
-	// were already persisted individually, so the next run resumes from them.
+	// fail finishes a run that returned an error, after its partial results
+	// (if any) were emitted: interruption exits 130, anything else 1. The
+	// cache is closed first so its lock releases cleanly; completed jobs
+	// were already persisted individually, so the next run resumes from
+	// them.
 	fail := func(err error) {
 		if err == nil {
 			return
@@ -224,262 +203,28 @@ func main() {
 		closeCache()
 		os.Exit(1)
 	}
-	emit := func(title, xName string, series []nvmwear.Series) {
-		if err := nvmwear.FormatSeries(os.Stdout, *format, title, xName, series); err != nil {
-			fmt.Fprintln(os.Stderr, err)
+
+	switch target := flag.Arg(0); target {
+	case "all":
+		fail(d.RunAll())
+	case "list":
+		fail(d.List())
+	default:
+		if _, ok := nvmwear.LookupExperiment(target); !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", target)
+			usage()
+			closeCache()
 			os.Exit(1)
 		}
-		if *svgDir != "" {
-			logX := xName == "regions"
-			path := *svgDir + "/" + currentFig + ".svg"
-			f, err := os.Create(path)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			if err := nvmwear.WriteSeriesSVG(f, title, xName, "value", logX, series); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			f.Close()
-			fmt.Fprintf(os.Stderr, "wrote %s\n", path)
-		}
-	}
-
-	run := func(name string) bool {
-		start := time.Now()
-		currentFig = name
-		jobsDone, jobsTotal = 0, 0
-		jobTimes = jobTimes[:0]
-		var cacheBefore store.Stats
-		if cache != nil {
-			cacheBefore = cache.Stats()
-		}
-		ok := true
-		switch name {
-		case "table1":
-			fmt.Print(nvmwear.RunTable1().Render())
-		case "fig3":
-			series, err := nvmwear.RunFig3(sc)
-			emit("Fig 3: TLSR normalized lifetime (%) vs number of regions, BPA",
-				"regions", series)
-			fail(err)
-		case "fig4":
-			series, err := nvmwear.RunFig4(sc)
-			emit("Fig 4: PCM-S/MWSR normalized lifetime (%) vs number of regions, BPA",
-				"regions", series)
-			fail(err)
-		case "fig5":
-			series, err := nvmwear.RunFig5(sc)
-			emit("Fig 5: hybrid lifetime (%) vs on-chip cache budget (KB), BPA",
-				"budgetKB", series)
-			fail(err)
-		case "fig12":
-			series, err := nvmwear.RunFig12(sc)
-			emit("Fig 12: CMT hit rate (%) vs runtime for observation-window sizes (soplex)",
-				"requests", series)
-			fail(err)
-		case "fig13":
-			series, avg, err := nvmwear.RunFig13(sc)
-			emit("Fig 13: region size (lines) vs runtime for settling-window sizes (soplex)",
-				"requests", series)
-			for _, s := range series {
-				fmt.Printf("avg cache hit rate %s: %.1f%%\n", s.Label, avg[s.Label])
-			}
-			fail(err)
-		case "fig14":
-			res, err := nvmwear.RunFig14(sc)
-			for _, r := range res {
-				fmt.Printf("== Fig 14 (%s) ==\n", r.Bench)
-				fmt.Printf("avg hit rate: NWL-4 %.1f%%  NWL-64 %.1f%%  SAWL %.1f%%\n",
-					r.AvgNWL4, r.AvgNWL64, r.AvgSAWL)
-				fmt.Print(nvmwear.SeriesTable("SAWL region-size trace",
-					"requests", []nvmwear.Series{r.RegionSize}, "%.1f").Render())
-			}
-			fail(err)
-		case "fig15":
-			series, err := nvmwear.RunFig15(sc)
-			emit("Fig 15: normalized lifetime (%) vs swapping period, BPA",
-				"period", series)
-			fail(err)
-		case "fig16":
-			fail(printFig16(sc, true))
-			fail(printFig16(sc, false))
-		case "fig17":
-			series, err := nvmwear.RunFig17(sc)
-			tab := nvmwear.SeriesTable(
-				"Fig 17: IPC degradation (%) vs baseline without wear leveling",
-				"bench#", series, "%.1f")
-			relabelBenches(&tab)
-			fmt.Print(tab.Render())
-			fail(err)
-		case "fault":
-			life, loss, err := nvmwear.RunFault(sc)
-			emit("Fault sweep: normalized lifetime (%) vs injected fault rate, uniform 50% writes",
-				"rate", life)
-			currentFig = "fault-loss"
-			emit("Fault sweep: uncorrectable losses per 1M reads vs injected fault rate",
-				"rate", loss)
-			fail(err)
-		case "overhead":
-			fmt.Print(nvmwear.RunOverhead(64<<30, 64<<20, 32).Render())
-		case "attack":
-			runAttack(sc)
-		case "sweep":
-			series, err := nvmwear.RunSweep(sc, nvmwear.SchemeKind(*sweepScheme),
-				[]uint64{4, 16, 64, 256}, []uint64{8, 16, 32, 64})
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				os.Exit(1)
-			}
-			emit(fmt.Sprintf("BPA lifetime (%%) sweep: %s", *sweepScheme),
-				"regionLines", series)
-		case "project":
-			p := nvmwear.ProjectLifetime(*capacityGB<<30, uint64(*endurance),
-				*bandwidthGB*float64(1<<30), *normalized)
-			fmt.Printf("%s\n", p)
-		default:
-			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", name)
-			ok = false
-		}
-		if ok {
-			// The full figure was emitted: the accumulated partial SVGs are
-			// now superseded.
-			removePartials()
-			elapsed := time.Since(start)
-			if jobsTotal > 0 {
-				fmt.Printf("[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
-					name, elapsed.Round(time.Millisecond), sc.Name,
-					jobsDone, float64(jobsDone)/elapsed.Seconds(),
-					jobTimeSummary(jobTimes), effectiveWorkers(sc.Parallelism),
-					cacheSummary(cache, cacheBefore))
-			} else {
-				fmt.Printf("[%s completed in %v at scale %s]\n\n", name, elapsed.Round(time.Millisecond), sc.Name)
-			}
-		}
-		return ok
-	}
-
-	target := flag.Arg(0)
-	if target == "all" {
-		names := []string{
-			"table1", "fig3", "fig4", "fig5", "fig12", "fig13",
-			"fig14", "fig15", "fig16", "fig17", "overhead",
-		}
-		// Staleness report: with a cache open, probe every experiment's job
-		// keys up front so fully-cached experiments are visibly skipped
-		// before any simulation starts.
-		if cache != nil {
-			for _, name := range names {
-				for _, f := range sc.CacheFreshness(name) {
-					fmt.Fprintf(os.Stderr, "cache: %-7s %3d/%3d jobs cached, %d stale\n",
-						f.Fig, f.Cached, f.Jobs, f.Stale())
-				}
-			}
-		}
-		for _, name := range names {
-			if !run(name) {
-				os.Exit(1)
-			}
-		}
-		return
-	}
-	if !run(target) {
-		usage()
-		os.Exit(1)
-	}
-}
-
-// printFig16 renders one panel of Fig 16, returning the sweep's error (if
-// any) after the completed rows were printed.
-func printFig16(sc nvmwear.Scale, coarse bool) error {
-	panel := "(a) coarse regions"
-	if !coarse {
-		panel = "(b) fine regions"
-	}
-	series, err := nvmwear.RunFig16(sc, coarse)
-	tab := nvmwear.SeriesTable(
-		fmt.Sprintf("Fig 16 %s: normalized lifetime (%%) under SPEC-like applications", panel),
-		"bench#", series, "%.1f")
-	relabelBenches(&tab)
-	fmt.Print(tab.Render())
-	return err
-}
-
-// relabelBenches replaces numeric benchmark indices with names (the last
-// index is the harmonic mean).
-func relabelBenches(tab *nvmwear.Table) {
-	names := nvmwear.SpecBenchmarks()
-	for i := range tab.Rows {
-		if i < len(names) {
-			tab.Rows[i][0] = names[i]
-		} else {
-			tab.Rows[i][0] = "Hmean"
-		}
-	}
-}
-
-// effectiveWorkers resolves the -j value the pool actually used.
-func effectiveWorkers(j int) int {
-	if j <= 0 {
-		return runtime.GOMAXPROCS(0)
-	}
-	return j
-}
-
-// jobTimeSummary renders the per-job wall-time percentiles of one sweep
-// (cache hits excluded — they measure the disk, not the simulator).
-func jobTimeSummary(ms []float64) string {
-	if len(ms) == 0 {
-		return ""
-	}
-	toDur := func(q float64) time.Duration {
-		return time.Duration(metrics.Quantile(ms, q) * float64(time.Millisecond)).Round(100 * time.Microsecond)
-	}
-	return fmt.Sprintf(", job p50 %v p99 %v", toDur(0.50), toDur(0.99))
-}
-
-// cacheSummary renders the result-store delta of one sweep: how many jobs
-// were served from cache, how many missed, and how many freshly computed
-// results were durably stored ("recomputed"). Quarantined counts corrupt
-// entries that were detected, moved aside, and recomputed.
-func cacheSummary(cache *store.Store, before store.Stats) string {
-	if cache == nil {
-		return ""
-	}
-	now := cache.Stats()
-	s := fmt.Sprintf(", cache: %d hits, %d misses, %d recomputed",
-		now.Hits-before.Hits, now.Misses-before.Misses, now.Puts-before.Puts)
-	if q := now.Quarantined - before.Quarantined; q > 0 {
-		s += fmt.Sprintf(", %d quarantined", q)
-	}
-	return s
-}
-
-// runAttack prints each scheme's RAA/BPA lifetimes and a verdict. The
-// seven schemes are scored concurrently on the scale's pool.
-func runAttack(sc nvmwear.Scale) {
-	kinds := []nvmwear.SchemeKind{
-		nvmwear.Baseline, nvmwear.SegmentSwap, nvmwear.RBSG,
-		nvmwear.TLSR, nvmwear.PCMS, nvmwear.MWSR, nvmwear.SAWL,
-	}
-	scores, err := nvmwear.RunAttackScores(sc, kinds)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
-	}
-	fmt.Printf("%-12s  %12s  %12s  verdict\n", "scheme", "RAA life%", "BPA life%")
-	for i, kind := range kinds {
-		fmt.Printf("%-12s  %11.1f%%  %11.1f%%  %s\n", kind,
-			100*scores[i].RAANormalized, 100*scores[i].BPANormalized, scores[i].Verdict())
+		fail(d.Run(target))
 	}
 }
 
 func usage() {
 	fmt.Fprintf(os.Stderr, `wlsim regenerates the SAWL paper's tables and figures.
 
-usage: wlsim [-scale small|medium|large] [-seed N] [-j N] [-shards N] [-q]
-             [-cache DIR [-cache-clear]] <experiment>
+usage: wlsim [-scale tiny|small|medium|large] [-seed N] [-j N] [-shards N]
+             [-q] [-cache DIR [-cache-clear]] [-force] <experiment>
 
 Sweeps run as -j parallel jobs (default: all cores; each sweep reports
 wall-clock, jobs/s and per-job p50/p99). Tables are byte-identical for
@@ -496,13 +241,15 @@ coupled schemes (segment swap, start-gap, TLSR, PCM-S, MWSR) fall back to
 serial with a reason on stderr. A fixed -shards value is deterministic for
 every -j, but sharded tables differ from serial ones (per-bank devices,
 spare pools and RNG substreams — see DESIGN.md par.10); the default is
-therefore 1, and sharded results are cached under separate keys.
+therefore 1, and sharded results are cached under separate keys (only for
+the experiments whose lifetime runs the sharder actually touches).
 
 As each series of a figure completes, a notice goes to stderr and (with
 -svg) an accumulating <fig>.partial.svg is updated, so long sweeps render
 progressively; the final figure replaces the partial file. With -cache,
 "wlsim all" first prints a per-figure staleness report (jobs cached vs
-stale) so fully-cached experiments are visibly skipped.
+stale), then skips — with a "skipped <name>" notice — every experiment
+whose entire job plan is already cached; -force re-runs them anyway.
 
 -cache DIR memoizes completed sweep jobs in a crash-safe disk store:
 re-running the same experiment re-executes only the missing jobs, so an
@@ -512,23 +259,16 @@ never trusted. -cache-clear empties the store first (alone, with no
 experiment, it just empties and exits). Each sweep's summary line reports
 cache hits/misses/recomputed.
 
-experiments:
-  table1    simulated system configuration (Table 1)
-  fig3      TLSR lifetime vs number of regions (BPA)
-  fig4      PCM-S/MWSR lifetime vs number of regions (BPA)
-  fig5      hybrid lifetime vs on-chip cache budget (BPA)
-  fig12     hit rate vs runtime for observation-window sizes
-  fig13     region size vs runtime for settling-window sizes
-  fig14     NWL-4 / NWL-64 / SAWL hit rates (bzip2, cactusADM, gcc)
-  fig15     PCM-S / MWSR / SAWL lifetime vs swapping period (BPA)
-  fig16     lifetime under 14 SPEC-like applications
-  fig17     IPC degradation vs no-wear-leveling baseline
-  overhead  hardware overhead arithmetic (Sec 4.5)
-  fault     lifetime + uncorrectable-loss curves vs injected fault rate
-  attack    RAA + BPA resilience verdict per scheme (Sec 2.2)
-  sweep     BPA lifetime over region-size x period grid (-scheme)
-  project   wall-clock lifetime projection (-normalized, -endurance,
-            -capacity GB, -bandwidth GB/s)
-  all       everything above
+experiments (from the package registry; * = part of "all"):
 `)
+	for _, e := range nvmwear.Experiments() {
+		star := " "
+		if e.InAll {
+			star = "*"
+		}
+		fmt.Fprintf(os.Stderr, "  %s %-9s %s\n", star, e.Name, e.Description)
+	}
+	fmt.Fprintf(os.Stderr, `    %-9s describe every registered experiment (jobs, cache freshness)
+    %-9s every experiment marked * above (cached ones skip; -force re-runs)
+`, "list", "all")
 }

@@ -164,17 +164,75 @@ func TestSIGKILLedSweepResumesByteIdentical(t *testing.T) {
 	}
 }
 
-func TestRelabelBenches(t *testing.T) {
-	var tab nvmwear.Table
-	names := nvmwear.SpecBenchmarks()
-	for i := 0; i <= len(names); i++ {
-		tab.Rows = append(tab.Rows, []string{"x", "y"})
+// TestAllSkipsFullyCachedExperiments is the whole-experiment skip
+// acceptance test: `wlsim all` against a warm cache must consult the store
+// up front, skip every experiment whose entire job plan is cached (with a
+// notice), and -force must re-run them all — printing tables byte-identical
+// to the cold run and to the checked-in goldens.
+func TestAllSkipsFullyCachedExperiments(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-scale", "tiny", "-j", "4", "-q", "-cache", dir}
+
+	cold, _, err := wlsim(t, nil, append(args, "all")...)
+	if err != nil {
+		t.Fatalf("cold `all` run: %v", err)
 	}
-	relabelBenches(&tab)
-	if tab.Rows[0][0] != names[0] {
-		t.Fatalf("first row label %q", tab.Rows[0][0])
+	golden, err := os.ReadFile("testdata/all_tiny.golden")
+	if err != nil {
+		t.Fatal(err)
 	}
-	if tab.Rows[len(names)][0] != "Hmean" {
-		t.Fatalf("last row label %q", tab.Rows[len(names)][0])
+	if got := tableLines(cold); got != string(golden) {
+		t.Errorf("cold `all` tables deviate from testdata/all_tiny.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			got, golden)
+	}
+
+	warm, warmStderr, err := wlsim(t, nil, append(args, "all")...)
+	if err != nil {
+		t.Fatalf("warm `all` run: %v\nstderr:\n%s", err, warmStderr)
+	}
+	// Every `all` experiment with a job plan must be skipped; the planless
+	// ones (table1, overhead) have nothing to cache and always run.
+	for _, e := range nvmwear.Experiments() {
+		if !e.InAll || e.Plan == nil {
+			continue
+		}
+		if !strings.Contains(warmStderr, "skipped "+e.Name+" (") {
+			t.Errorf("no skip notice for %s on stderr:\n%s", e.Name, warmStderr)
+		}
+	}
+	warmGolden, err := os.ReadFile("testdata/all_tiny_warm.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tableLines(warm); got != string(warmGolden) {
+		t.Errorf("warm `all` tables deviate from testdata/all_tiny_warm.golden:\n--- got ---\n%s\n--- want ---\n%s",
+			got, warmGolden)
+	}
+
+	// -force re-runs every experiment against the warm cache: all hits,
+	// byte-identical tables to the cold run.
+	forced, forcedStderr, err := wlsim(t, nil, append(args, "-force", "all")...)
+	if err != nil {
+		t.Fatalf("forced `all` run: %v", err)
+	}
+	if strings.Contains(forcedStderr, "skipped ") {
+		t.Errorf("-force still skipped experiments:\n%s", forcedStderr)
+	}
+	if got, want := tableLines(forced), tableLines(cold); got != want {
+		t.Errorf("-force tables differ from the cold run:\n--- cold ---\n%s\n--- forced ---\n%s", want, got)
+	}
+}
+
+// TestListDescribesRegistry smoke-tests the `list` subcommand: every
+// registered experiment appears with its job count at the selected scale.
+func TestListDescribesRegistry(t *testing.T) {
+	stdout, stderr, err := wlsim(t, nil, "-scale", "tiny", "list")
+	if err != nil {
+		t.Fatalf("list: %v\nstderr:\n%s", err, stderr)
+	}
+	for _, e := range nvmwear.Experiments() {
+		if !strings.Contains(stdout, e.Name) {
+			t.Errorf("list output lacks experiment %q:\n%s", e.Name, stdout)
+		}
 	}
 }

@@ -1,0 +1,307 @@
+package nvmwear
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/store"
+)
+
+// Driver executes registered experiments with the shared presentation
+// pipeline cmd/wlsim fronts: rendering in the selected format, SVG export
+// with progressive partial figures, per-sweep telemetry summaries, and the
+// whole-experiment cache skip in RunAll. It exists so the CLI holds no
+// per-experiment logic at all — `wlsim <name>` is LookupExperiment plus
+// Driver.Run for every name the registry knows.
+type Driver struct {
+	Scale  Scale
+	Out    io.Writer // experiment output; nil means os.Stdout
+	Format string    // text|csv|json ("" = text)
+	SVGDir string    // when non-empty, each figure is also written as SVGDir/<name>.svg
+	Force  bool      // RunAll: re-run experiments even when fully cached
+
+	// Progress, when non-nil, observes every completed sweep job of the
+	// running experiment (the driver chains it behind its own job counter).
+	Progress func(name string, done, total int)
+	// SeriesDone, when non-nil, observes each completed series before the
+	// driver updates the experiment's accumulating partial SVG.
+	SeriesDone func(fig string, s Series)
+
+	// Partial-SVG accumulation for the running experiment: series land here
+	// as they complete and are superseded by the final figures on success.
+	partialSeries map[string][]Series
+	partialFiles  map[string]bool
+}
+
+func (d *Driver) out() io.Writer {
+	if d.Out != nil {
+		return d.Out
+	}
+	return os.Stdout
+}
+
+func (d *Driver) logf(format string, args ...any) {
+	if d.Scale.Logf != nil {
+		d.Scale.Logf(format, args...)
+	}
+}
+
+// Run executes one registered experiment end to end: run, render, emit,
+// summary line. An interrupted or failed sweep still emits the completed
+// prefix of its tables and figures (partial flush) before the error is
+// returned; the telemetry summary is printed only on success.
+func (d *Driver) Run(name string) error {
+	e, ok := LookupExperiment(name)
+	if !ok {
+		return fmt.Errorf("nvmwear: unknown experiment %q", name)
+	}
+	return d.run(e)
+}
+
+func (d *Driver) run(e *Experiment) error {
+	sc := d.Scale
+	start := time.Now()
+	var jobsDone, jobsTotal int
+	var jobTimes []float64
+	sc.Progress = func(done, total int) {
+		jobsDone, jobsTotal = done, total
+		if d.Progress != nil {
+			d.Progress(e.Name, done, total)
+		}
+	}
+	// Per-job wall times for the summary percentiles (zero for cache hits,
+	// which measure the disk, not the simulator — excluded).
+	sc.JobTime = func(elapsed time.Duration) {
+		if elapsed > 0 {
+			jobTimes = append(jobTimes, float64(elapsed)/float64(time.Millisecond))
+		}
+	}
+	sc.SeriesDone = func(fig string, s Series) {
+		if d.SeriesDone != nil {
+			d.SeriesDone(fig, s)
+		}
+		d.writePartial(fig, s)
+	}
+	var cacheBefore store.Stats
+	stats, hasStats := sc.Cache.(interface{ Stats() store.Stats })
+	if hasStats {
+		cacheBefore = stats.Stats()
+	}
+
+	res, runErr := e.Run(sc)
+	// Render even on error: runners return the completed prefix of their
+	// payload, so an interrupted sweep still flushes partial tables.
+	tables, svgs := e.Render(res)
+	if err := d.emit(tables, svgs); err != nil {
+		return err
+	}
+	if runErr != nil {
+		return runErr
+	}
+
+	// The full figures were emitted: the accumulated partials are superseded.
+	d.removePartials()
+	elapsed := time.Since(start)
+	if jobsTotal > 0 {
+		cacheLine := ""
+		if hasStats {
+			cacheLine = cacheSummary(stats.Stats(), cacheBefore)
+		}
+		fmt.Fprintf(d.out(), "[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
+			e.Name, elapsed.Round(time.Millisecond), sc.Name,
+			jobsDone, float64(jobsDone)/elapsed.Seconds(),
+			jobTimeSummary(jobTimes), effectiveWorkers(sc.Parallelism), cacheLine)
+	} else {
+		fmt.Fprintf(d.out(), "[%s completed in %v at scale %s]\n\n",
+			e.Name, elapsed.Round(time.Millisecond), sc.Name)
+	}
+	return nil
+}
+
+// emit writes an experiment's rendered output. Text mode prints every
+// table (series figures print their text-table twin). csv/json emit the
+// series streams via FormatSeries and print only the tables that carry
+// data no series holds (Fig 13's averages, Fig 14's summary, table1,
+// overhead). With SVGDir set, every figure is also written as an SVG file.
+func (d *Driver) emit(tables []Table, svgs []SVG) error {
+	w := d.out()
+	text := d.Format == "" || d.Format == "text"
+	for _, t := range tables {
+		if !text && t.fromSeries {
+			continue // the series stream below carries this table's data
+		}
+		if _, err := io.WriteString(w, t.Render()); err != nil {
+			return err
+		}
+	}
+	if !text {
+		for _, g := range svgs {
+			if err := FormatSeries(w, d.Format, g.Title, g.XName, g.Series); err != nil {
+				return err
+			}
+		}
+	}
+	if d.SVGDir != "" {
+		for _, g := range svgs {
+			path := filepath.Join(d.SVGDir, g.Name+".svg")
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			werr := g.WriteSVG(f)
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				return werr
+			}
+			d.logf("wrote %s", path)
+		}
+	}
+	return nil
+}
+
+// writePartial updates the experiment's accumulating <fig>.partial.svg with
+// one more completed series — pipeline rendering for long sweeps. Best
+// effort: a failed partial render never fails the sweep.
+func (d *Driver) writePartial(fig string, s Series) {
+	if d.SVGDir == "" {
+		return
+	}
+	if d.partialSeries == nil {
+		d.partialSeries = map[string][]Series{}
+		d.partialFiles = map[string]bool{}
+	}
+	d.partialSeries[fig] = append(d.partialSeries[fig], s)
+	path := filepath.Join(d.SVGDir, fig+".partial.svg")
+	f, err := os.Create(path)
+	if err != nil {
+		return
+	}
+	if WriteSeriesSVG(f, fig+" (partial)", "x", "value", false, d.partialSeries[fig]) == nil {
+		d.partialFiles[path] = true
+	}
+	f.Close()
+}
+
+func (d *Driver) removePartials() {
+	for path := range d.partialFiles {
+		os.Remove(path)
+	}
+	d.partialSeries, d.partialFiles = nil, nil
+}
+
+// RunAll executes every experiment registered with InAll, in catalogue
+// order. With a probing cache open it first logs the per-figure staleness
+// report, then skips — with a notice — each experiment whose entire job
+// plan is already cached (Force re-runs them anyway); emitted output is
+// exactly what running those experiments against the warm cache would have
+// printed, minus the skipped tables.
+func (d *Driver) RunAll() error {
+	var list []*Experiment
+	for _, e := range Experiments() {
+		if e.InAll {
+			list = append(list, e)
+		}
+	}
+	return d.runAll(list)
+}
+
+// runAll is RunAll over an explicit experiment list (tests drive it with a
+// single experiment to exercise the skip path cheaply).
+func (d *Driver) runAll(list []*Experiment) error {
+	fresh := map[string][]FigFreshness{}
+	for _, e := range list {
+		fs := d.Scale.CacheFreshness(e.Name)
+		fresh[e.Name] = fs
+		for _, f := range fs {
+			d.logf("cache: %-7s %3d/%3d jobs cached, %d stale",
+				f.Fig, f.Cached, f.Jobs, f.Stale())
+		}
+	}
+	for _, e := range list {
+		if !d.Force {
+			jobs, cached := 0, 0
+			for _, f := range fresh[e.Name] {
+				jobs += f.Jobs
+				cached += f.Cached
+			}
+			if jobs > 0 && cached == jobs {
+				d.logf("skipped %s (%d/%d cached)", e.Name, cached, jobs)
+				continue
+			}
+		}
+		if err := d.run(e); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// List writes the registered catalogue as a table: name, paper figure,
+// `all` membership, job count at the driver's scale, cache freshness
+// (with a probing cache open), and description.
+func (d *Driver) List() error {
+	tab := Table{
+		Title:   "registered experiments",
+		Columns: []string{"name", "figure", "all", "jobs", "cached", "description"},
+	}
+	for _, e := range Experiments() {
+		jobs, cached := "-", "-"
+		if e.Plan != nil {
+			n := len(e.Plan(d.Scale))
+			jobs = fmt.Sprintf("%d", n)
+			if fs := d.Scale.CacheFreshness(e.Name); fs != nil {
+				c := 0
+				for _, f := range fs {
+					c += f.Cached
+				}
+				cached = fmt.Sprintf("%d/%d", c, n)
+			}
+		}
+		inAll := ""
+		if e.InAll {
+			inAll = "*"
+		}
+		tab.Rows = append(tab.Rows, []string{e.Name, e.Figure, inAll, jobs, cached, e.Description})
+	}
+	_, err := io.WriteString(d.out(), tab.Render())
+	return err
+}
+
+// effectiveWorkers resolves the -j value the pool actually used.
+func effectiveWorkers(j int) int {
+	if j <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return j
+}
+
+// jobTimeSummary renders the per-job wall-time percentiles of one sweep.
+func jobTimeSummary(ms []float64) string {
+	if len(ms) == 0 {
+		return ""
+	}
+	toDur := func(q float64) time.Duration {
+		return time.Duration(metrics.Quantile(ms, q) * float64(time.Millisecond)).Round(100 * time.Microsecond)
+	}
+	return fmt.Sprintf(", job p50 %v p99 %v", toDur(0.50), toDur(0.99))
+}
+
+// cacheSummary renders the result-store delta of one sweep: how many jobs
+// were served from cache, how many missed, and how many freshly computed
+// results were durably stored ("recomputed"). Quarantined counts corrupt
+// entries that were detected, moved aside, and recomputed.
+func cacheSummary(now, before store.Stats) string {
+	s := fmt.Sprintf(", cache: %d hits, %d misses, %d recomputed",
+		now.Hits-before.Hits, now.Misses-before.Misses, now.Puts-before.Puts)
+	if q := now.Quarantined - before.Quarantined; q > 0 {
+		s += fmt.Sprintf(", %d quarantined", q)
+	}
+	return s
+}

@@ -41,6 +41,11 @@ type Table struct {
 	Title   string
 	Columns []string
 	Rows    [][]string
+
+	// fromSeries marks a table that is the text rendering of an SVG's
+	// series (figTable): csv/json output emits the series stream and
+	// drops the redundant table.
+	fromSeries bool
 }
 
 // Render formats the table as aligned ASCII text.
@@ -222,6 +227,42 @@ type Scale struct {
 	// reasons under Shards > 1, cache staleness lines). cmd/wlsim wires it
 	// to stderr so stdout stays machine-readable.
 	Logf func(format string, args ...any)
+
+	// SweepScheme selects the scheme the generic `sweep` experiment
+	// explores (cmd/wlsim's -scheme flag). Empty selects PCMS. The scheme
+	// is folded into the sweep's cache identity, not the cache key salt.
+	SweepScheme SchemeKind
+
+	// Project parameterizes the `project` experiment's wall-clock lifetime
+	// projection (cmd/wlsim's -normalized/-endurance/-capacity/-bandwidth
+	// flags). Zero fields take the paper-derived defaults.
+	Project ProjectParams
+}
+
+// ProjectParams sizes the `project` experiment: the full-scale device whose
+// wall-clock lifetime is projected from a measured normalized fraction.
+type ProjectParams struct {
+	Normalized    float64 // measured fraction of ideal (default 0.85)
+	Endurance     uint64  // cell endurance Wmax (default 1e5)
+	CapacityGB    uint64  // device capacity in GB (default 64)
+	BandwidthGBps float64 // write traffic in GB/s (default 1)
+}
+
+// withDefaults fills zero fields with the paper's reference point.
+func (p ProjectParams) withDefaults() ProjectParams {
+	if p.Normalized == 0 {
+		p.Normalized = 0.85
+	}
+	if p.Endurance == 0 {
+		p.Endurance = 1e5
+	}
+	if p.CapacityGB == 0 {
+		p.CapacityGB = 64
+	}
+	if p.BandwidthGBps == 0 {
+		p.BandwidthGBps = 1
+	}
+	return p
 }
 
 // ResultCache memoizes completed sweep jobs across runs. It mirrors
@@ -261,20 +302,45 @@ const resultsVersion = "wlsim-results-v1"
 // figure identity (which must itself encode any non-Scale sweep
 // parameters), the job index, and the job's derived seed stream. The
 // store content-addresses the string, so readability costs nothing.
-func (sc Scale) cacheKey(fig string, i int) string {
+//
+// sharded declares whether the sweep's lifetime runs go through the
+// intra-run sharder — the per-experiment capability flag of the registry
+// (Experiment.Sharded). Only those sweeps salt their keys with the shard
+// layout: the layout changes the simulated geometry (per-bank devices and
+// RNG substreams), so sharded results live under their own keys, while
+// runs the sharder never touches (trace figures, fault, attack) keep the
+// same results — and the same keys — at every -shards value.
+func (sc Scale) cacheKey(fig string, sharded bool, i int) string {
 	key := fmt.Sprintf(
 		"%s|fig=%s|job=%d|seed=%d|stream=%#x|attack=%d/%d|spec=%d/%d/%d|trace=%d|req=%d|cmt=%d|spare=%d",
 		resultsVersion, fig, i, sc.Seed, rng.SeedStream(sc.Seed, uint64(i)),
 		sc.AttackLines, sc.AttackEndurance,
 		sc.SpecLines, sc.SpecEndurance, sc.SpecPeriod,
 		sc.TraceLines, sc.Requests, sc.CMTEntries, sc.SpareFrac)
-	// The shard layout changes the simulated geometry (per-bank devices and
-	// RNG substreams), so sharded results live under their own keys. Serial
-	// runs keep the historical unsalted key: existing caches stay warm.
-	if sc.Shards > 1 {
+	// Serial runs keep the historical unsalted key: existing caches stay
+	// warm across this refactor.
+	if sharded && sc.Shards > 1 {
 		key += fmt.Sprintf("|shards=%d", sc.Shards)
 	}
 	return key
+}
+
+// ScaleTiny is the smallest preset: every figure in seconds, meant for
+// smoke tests and CI (`wlsim -scale tiny`), not for paper-shaped curves.
+// The root package's testdata/ goldens are rendered at this scale with
+// Seed 7, so its parameters are pinned by the golden regression tests.
+var ScaleTiny = Scale{
+	Name:            "tiny",
+	AttackLines:     1 << 10,
+	AttackEndurance: 800,
+	SpecLines:       1 << 10,
+	SpecEndurance:   600,
+	SpecPeriod:      8,
+	TraceLines:      1 << 18,
+	Requests:        1 << 17,
+	CMTEntries:      256,
+	SpareFrac:       32,
+	Seed:            7,
 }
 
 // ScaleSmall regenerates every figure in seconds to a few minutes — the
@@ -328,6 +394,8 @@ var ScaleLarge = Scale{
 // ScaleByName resolves a preset.
 func ScaleByName(name string) (Scale, error) {
 	switch name {
+	case "tiny":
+		return ScaleTiny, nil
 	case "small":
 		return ScaleSmall, nil
 	case "medium":
@@ -335,7 +403,7 @@ func ScaleByName(name string) (Scale, error) {
 	case "large":
 		return ScaleLarge, nil
 	default:
-		return Scale{}, fmt.Errorf("nvmwear: unknown scale %q (small|medium|large)", name)
+		return Scale{}, fmt.Errorf("nvmwear: unknown scale %q (tiny|small|medium|large)", name)
 	}
 }
 
@@ -382,13 +450,14 @@ func (sc Scale) pool() *exec.Pool {
 
 // cachedPool is pool() plus the sweep-level refinements: the disk result
 // cache keyed under the figure identity (when Scale.Cache is open) and an
-// optional longest-job-first cost hint.
-func (sc Scale) cachedPool(fig string, cost func(i int) float64) *exec.Pool {
+// optional longest-job-first cost hint. sharded is the sweep's cache-key
+// shard salting, see cacheKey.
+func (sc Scale) cachedPool(fig string, sharded bool, cost func(i int) float64) *exec.Pool {
 	p := sc.pool()
 	p.Cost = cost
 	if sc.Cache != nil && fig != "" {
 		p.Store = sc.Cache
-		p.Key = func(i int) string { return sc.cacheKey(fig, i) }
+		p.Key = func(i int) string { return sc.cacheKey(fig, sharded, i) }
 	}
 	return p
 }
@@ -412,22 +481,25 @@ var ErrInterrupted = errors.New("nvmwear: sweep interrupted")
 // stream regardless of worker count. Fixed-length trace figures (12-14, 17)
 // instead keep sc.Seed so all panels of one figure observe the identical
 // request stream — those figures compare configurations on the same trace.
-func runJobs[T any](sc Scale, fig string, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	return runJobsCost(sc, fig, nil, n, fn)
+// sharded declares whether the sweep's lifetime runs go through the
+// intra-run sharder; it must match the registering experiment's Sharded
+// capability flag, which decides the cache keys' shard salting (cacheKey).
+func runJobs[T any](sc Scale, fig string, sharded bool, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	return runJobsCost(sc, fig, sharded, nil, n, fn)
 }
 
 // runJobsCost is runJobs with a longest-job-first cost hint: jobs are
 // dispatched in descending cost order while results keep submission order.
-func runJobsCost[T any](sc Scale, fig string, cost func(i int) float64, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	return runJobsStream(sc, fig, cost, n, nil, fn)
+func runJobsCost[T any](sc Scale, fig string, sharded bool, cost func(i int) float64, n int, fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	return runJobsStream(sc, fig, sharded, cost, n, nil, fn)
 }
 
 // runJobsStream is runJobsCost plus a per-job completion hook: onJob, when
 // non-nil, observes each job's result as it lands (cache hits included, in
 // completion order) so runners can stream series to Scale.SeriesDone while
 // the sweep is still running. onJob calls are serialized by the pool.
-func runJobsStream[T any](sc Scale, fig string, cost func(i int) float64, n int, onJob func(i int, v T), fn func(i int, seed uint64) (T, error)) ([]T, error) {
-	p := sc.cachedPool(fig, cost)
+func runJobsStream[T any](sc Scale, fig string, sharded bool, cost func(i int) float64, n int, onJob func(i int, v T), fn func(i int, seed uint64) (T, error)) ([]T, error) {
+	p := sc.cachedPool(fig, sharded, cost)
 	if onJob != nil {
 		p.OnJob = func(i int, v any, _ time.Duration) {
 			if tv, ok := v.(T); ok {

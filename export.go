@@ -109,6 +109,12 @@ func FormatSeries(w io.Writer, format, title, xName string, series []Series) err
 	}
 }
 
+// WriteSVG renders the experiment figure as an SVG line chart with its
+// registered axis metadata (wlsim -svg).
+func (g SVG) WriteSVG(w io.Writer) error {
+	return WriteSeriesSVG(w, g.Title, g.XName, g.YName, g.LogX, g.Series)
+}
+
 // WriteSeriesSVG renders series as an SVG line chart (wlsim -svg).
 func WriteSeriesSVG(w io.Writer, title, xName, yName string, logX bool, series []Series) error {
 	c := plot.Chart{Title: title, XLabel: xName, YLabel: yName, LogX: logX}

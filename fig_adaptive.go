@@ -83,7 +83,7 @@ func RunFig12(sc Scale) ([]Series, error) {
 	if sc.SeriesDone != nil {
 		onJob = func(_ int, s Series) { sc.SeriesDone("fig12", s) }
 	}
-	return runJobsStream(sc, "fig12", nil, len(windows), onJob, func(i int, _ uint64) (Series, error) {
+	return runJobsStream(sc, "fig12", false, nil, len(windows), onJob, func(i int, _ uint64) (Series, error) {
 		sow := windows[i]
 		hit, _, _, err := runTrace(sc, "soplex", sow, sc.Requests/4)
 		if err != nil {
@@ -110,7 +110,7 @@ func RunFig13(sc Scale) ([]Series, map[string]float64, error) {
 	if sc.SeriesDone != nil {
 		onJob = func(_ int, p point) { sc.SeriesDone("fig13", p.Size) }
 	}
-	res, err := runJobsStream(sc, "fig13", nil, len(windows), onJob, func(i int, _ uint64) (point, error) {
+	res, err := runJobsStream(sc, "fig13", false, nil, len(windows), onJob, func(i int, _ uint64) (point, error) {
 		ssw := windows[i]
 		_, size, avgHit, err := runTrace(sc, "soplex", sc.Requests/8, ssw)
 		if err != nil {
@@ -158,6 +158,105 @@ func log2u(v uint64) int {
 	return n
 }
 
+// Experiment registrations for the adaptive-behavior figures. These are
+// fixed-length trace runs the intra-run sharder never touches, so they
+// are not Sharded: their cache keys are the same at every -shards value.
+func init() {
+	Register(Experiment{
+		Name:        "fig12",
+		Description: "hit rate vs runtime for observation-window sizes",
+		Figure:      "Fig 12",
+		Order:       120, InAll: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig12", len(scaledWindows(sc)))
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig12(sc)
+			return Result{s}, err
+		},
+		Render: renderSeries("fig12",
+			"Fig 12: CMT hit rate (%) vs runtime for observation-window sizes (soplex)",
+			"requests", false),
+	})
+	Register(Experiment{
+		Name:        "fig13",
+		Description: "region size vs runtime for settling-window sizes",
+		Figure:      "Fig 13",
+		Order:       130, InAll: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig13", len(scaledWindows(sc)))
+		},
+		Run: func(sc Scale) (Result, error) {
+			series, avg, err := RunFig13(sc)
+			return Result{fig13Result{Series: series, Avg: avg}}, err
+		},
+		Render: renderFig13,
+	})
+	Register(Experiment{
+		Name:        "fig14",
+		Description: "NWL-4 / NWL-64 / SAWL hit rates (bzip2, cactusADM, gcc)",
+		Figure:      "Fig 14",
+		Order:       140, InAll: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig14", 3*len(fig14Benches)) // NWL-4, NWL-64, SAWL per bench
+		},
+		Run: func(sc Scale) (Result, error) {
+			res, err := RunFig14(sc)
+			return Result{res}, err
+		},
+		Render: renderFig14,
+	})
+}
+
+// fig13Result is the fig13 experiment's payload: the region-size
+// trajectories plus the per-window average hit rates (the paper's panel
+// labels).
+type fig13Result struct {
+	Series []Series
+	Avg    map[string]float64
+}
+
+// renderFig13 renders the trajectories and a companion average-hit-rate
+// table (one row per settling window).
+func renderFig13(r Result) ([]Table, []SVG) {
+	res, _ := r.Value.(fig13Result)
+	g := SVG{Name: "fig13",
+		Title: "Fig 13: region size (lines) vs runtime for settling-window sizes (soplex)",
+		XName: "requests", YName: "value", Series: res.Series}
+	avg := Table{
+		Title:   "Fig 13: average cache hit rate per settling window",
+		Columns: []string{"window", "avg hit rate %"},
+	}
+	for _, s := range res.Series {
+		avg.Rows = append(avg.Rows, []string{s.Label, fmt.Sprintf("%.1f", res.Avg[s.Label])})
+	}
+	return []Table{figTable(g, "%.2f"), avg}, []SVG{g}
+}
+
+// renderFig14 renders the per-benchmark panels: one summary table of
+// average hit rates plus each benchmark's SAWL region-size trace.
+func renderFig14(r Result) ([]Table, []SVG) {
+	res, _ := r.Value.([]Fig14Result)
+	summary := Table{
+		Title:   "Fig 14: average CMT hit rate (%)",
+		Columns: []string{"bench", "NWL-4", "NWL-64", "SAWL"},
+	}
+	tables := []Table{summary}
+	var svgs []SVG
+	for _, p := range res {
+		tables[0].Rows = append(tables[0].Rows, []string{p.Bench,
+			fmt.Sprintf("%.1f", p.AvgNWL4),
+			fmt.Sprintf("%.1f", p.AvgNWL64),
+			fmt.Sprintf("%.1f", p.AvgSAWL)})
+		g := SVG{Name: "fig14-" + p.Bench,
+			Title: fmt.Sprintf("Fig 14 (%s): SAWL region-size trace", p.Bench),
+			XName: "requests", YName: "value", Series: []Series{p.RegionSize}}
+		tables = append(tables, figTable(g, "%.1f"))
+		svgs = append(svgs, g)
+	}
+	return tables, svgs
+}
+
 // fig14Benches are Fig 14's three representative benchmarks.
 var fig14Benches = []string{"bzip2", "cactusADM", "gcc"}
 
@@ -186,7 +285,7 @@ func RunFig14(sc Scale) ([]Fig14Result, error) {
 		Avg       float64
 		Hit, Size Series
 	}
-	res, err := runJobs(sc, "fig14", perBench*len(benches), func(i int, _ uint64) (measure, error) {
+	res, err := runJobs(sc, "fig14", false, perBench*len(benches), func(i int, _ uint64) (measure, error) {
 		bench := benches[i/perBench]
 		switch i % perBench {
 		case 0:

@@ -13,6 +13,44 @@ import (
 // metadata rebuild) end to end under the same deterministic-parallel
 // contract as the paper figures.
 
+// faultResult is the fault experiment's payload: both series sets share
+// the fault-rate X axis.
+type faultResult struct {
+	Life []Series // normalized lifetime, percent
+	Loss []Series // uncorrectable read losses per 1M reads
+}
+
+func init() {
+	Register(Experiment{
+		Name:        "fault",
+		Description: "fault-injection sweep: lifetime and data loss vs fault rate",
+		Figure:      "Sec 4.6",
+		Order:       210,
+		Plan: func(sc Scale) []JobSpec {
+			fig := fmt.Sprintf("fault:%v:%v", FaultSchemes, FaultRates)
+			return planJobs(fig, len(FaultSchemes)*len(FaultRates))
+		},
+		Run: func(sc Scale) (Result, error) {
+			life, loss, err := RunFault(sc)
+			return Result{faultResult{Life: life, Loss: loss}}, err
+		},
+		Render: func(r Result) ([]Table, []SVG) {
+			fr, _ := r.Value.(faultResult)
+			// Linear X: the rate sweep starts at the fault-free control
+			// point 0, which a log axis cannot place.
+			gl := SVG{Name: "fault",
+				Title:  "Fault sweep: normalized lifetime (%) vs injected fault rate, uniform 50% writes",
+				XName:  "rate", YName: "value", Series: fr.Life,
+			}
+			gd := SVG{Name: "fault-loss",
+				Title:  "Fault sweep: uncorrectable losses per 1M reads vs injected fault rate",
+				XName:  "rate", YName: "value", Series: fr.Loss,
+			}
+			return []Table{figTable(gl, "%.2f"), figTable(gd, "%.2f")}, []SVG{gl, gd}
+		},
+	})
+}
+
 // FaultRates is the per-access fault-probability sweep the `fault`
 // experiment evaluates. Rate 0 is the fault-free control point: it must
 // reproduce the unfaulted simulation bit for bit (the injector performs no
@@ -44,7 +82,7 @@ func RunFault(sc Scale) (life, loss []Series, err error) {
 		Life    float64
 		LossPPM float64
 	}
-	res, err := runJobs(sc, fig, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
+	res, err := runJobs(sc, fig, false, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
 		scheme, rate := schemes[i/len(rates)], rates[i%len(rates)]
 		sys, err := NewSystem(SystemConfig{
 			Scheme: scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),

@@ -18,6 +18,35 @@ func instrFor(name string) float64 {
 // IPC degradation of the wear-leveling schemes relative to a baseline
 // without wear leveling, across the 14 SPEC-like applications.
 
+func init() {
+	Register(Experiment{
+		Name:        "fig17",
+		Description: "IPC degradation vs no-wear-leveling baseline",
+		Figure:      "Fig 17",
+		Order:       170, InAll: true,
+		Plan: func(sc Scale) []JobSpec {
+			// One baseline row plus one row per scheme, benchmark-major.
+			return planJobs("fig17", (1+len(Fig17Schemes))*len(workload.Names()))
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig17(sc)
+			return Result{s}, err
+		},
+		Render: func(r Result) ([]Table, []SVG) {
+			series, _ := r.Value.([]Series)
+			g := SVG{Name: "fig17",
+				Title:  "Fig 17: IPC degradation (%) vs baseline without wear leveling",
+				XName:  "bench#",
+				YName:  "value",
+				Series: series,
+			}
+			t := figTable(g, "%.1f")
+			relabelBenchRows(&t)
+			return []Table{t}, []SVG{g}
+		},
+	})
+}
+
 // Fig17Schemes are the compared configurations: BWL is the basic non-tiered
 // hybrid (PCM-S with its whole table on chip at 4-line granularity), NWL-4
 // the naive tiered scheme, and SAWL the adaptive one.
@@ -49,9 +78,9 @@ func RunFig17(sc Scale) ([]Series, error) {
 	schemes := Fig17Schemes
 	// Benchmark footprint drives per-job wall time (the paper's ~10x
 	// spread), so it is the longest-job-first hint; the layout is
-	// benchmark-major within each scheme row, which benchFootprintCost
+	// benchmark-major within each scheme row, which metrics.CycleCost
 	// assumes.
-	results, err := runJobsCost(sc, "fig17", benchFootprintCost(names), (1+len(schemes))*len(names),
+	results, err := runJobsCost(sc, "fig17", false, metrics.CycleCost(workload.Footprints(names)), (1+len(schemes))*len(names),
 		func(i int, _ uint64) (TimingResult, error) {
 			scheme, name := Baseline, names[i%len(names)]
 			if i >= len(names) {

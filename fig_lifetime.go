@@ -116,7 +116,7 @@ func RunFig3(sc Scale) ([]Series, error) {
 	}
 	sh := newSharder(sc)
 	onJob := streamSweep(newSeriesStreamer(sc, "fig3"), out, pts)
-	norms, err := runJobsStream(sc, "fig3", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, "fig3", true, nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		repeats := j.period * (sc.AttackLines / j.regions) / 2
 		res, err := sh.run(SystemConfig{
@@ -160,7 +160,7 @@ func RunFig4(sc Scale) ([]Series, error) {
 	}
 	sh := newSharder(sc)
 	onJob := streamSweep(newSeriesStreamer(sc, "fig4"), out, pts)
-	norms, err := runJobsStream(sc, "fig4", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, "fig4", true, nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		q := sc.AttackLines / j.regions
 		res, err := sh.run(SystemConfig{
@@ -206,7 +206,7 @@ func RunFig5(sc Scale) ([]Series, error) {
 	}
 	sh := newSharder(sc)
 	onJob := streamSweep(newSeriesStreamer(sc, "fig5"), out, pts)
-	norms, err := runJobsStream(sc, "fig5", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, "fig5", true, nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		regions := regionsForBudget(j.scheme, j.budget, sc.AttackLines)
 		q := sc.AttackLines / regions
@@ -270,7 +270,7 @@ func RunFig15(sc Scale) ([]Series, error) {
 	}
 	sh := newSharder(sc)
 	onJob := streamSweep(newSeriesStreamer(sc, "fig15"), out, pts)
-	norms, err := runJobsStream(sc, "fig15", nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, "fig15", true, nil, len(jobs), onJob, func(i int, seed uint64) (float64, error) {
 		j := jobs[i]
 		cfg := SystemConfig{
 			Scheme: j.scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
@@ -349,7 +349,7 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 			st.point(si, bi, float64(bi), y)
 			vals[si][bi] = y
 			if left[si]--; left[si] == 0 {
-				st.point(si, len(names), float64(len(names)), 100*hmeanPct(vals[si]))
+				st.point(si, len(names), float64(len(names)), metrics.HarmonicMean(vals[si]))
 			}
 		}
 	}
@@ -358,7 +358,7 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 	// results slice regroups directly into series. Benchmarks vary ~10x in
 	// run time with footprint, so the footprint is the longest-job-first
 	// hint that keeps the parallel tail short.
-	norms, err := runJobsStream(sc, fig, benchFootprintCost(names), len(schemes)*len(names), onJob, func(i int, seed uint64) (float64, error) {
+	norms, err := runJobsStream(sc, fig, true, metrics.CycleCost(workload.Footprints(names)), len(schemes)*len(names), onJob, func(i int, seed uint64) (float64, error) {
 		scheme, name := schemes[i/len(names)], names[i%len(names)]
 		cfg := SystemConfig{
 			Scheme: scheme, Lines: sc.SpecLines, SpareLines: sc.specSpares(),
@@ -390,29 +390,188 @@ func RunFig16(sc Scale, coarse bool) ([]Series, error) {
 		for bi, v := range values {
 			out[si].Append(float64(bi), v)
 		}
-		out[si].Append(float64(len(names)), 100*hmeanPct(values))
+		out[si].Append(float64(len(names)), metrics.HarmonicMean(values))
 	}
 	return out, err
 }
 
-// hmeanPct computes the harmonic mean of percent values, returned as a
-// fraction of 100.
-func hmeanPct(vals []float64) float64 {
-	return metrics.HarmonicMean(vals) / 100
+// Experiment registrations for this file's runners. The lifetime sweeps
+// all go through the intra-run sharder, so they carry the Sharded
+// capability flag (shard-salted cache keys).
+func init() {
+	Register(Experiment{
+		Name:        "fig3",
+		Description: "TLSR lifetime vs number of regions (BPA)",
+		Figure:      "Fig 3",
+		Order:       30, InAll: true, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig3", 2*4*len(regionSweep(sc.AttackLines)))
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig3(sc)
+			return Result{s}, err
+		},
+		Render: renderSeries("fig3",
+			"Fig 3: TLSR normalized lifetime (%) vs number of regions, BPA",
+			"regions", true),
+	})
+	Register(Experiment{
+		Name:        "fig4",
+		Description: "PCM-S/MWSR lifetime vs number of regions (BPA)",
+		Figure:      "Fig 4",
+		Order:       40, InAll: true, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig4", 2*2*4*len(regionSweep(sc.AttackLines)))
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig4(sc)
+			return Result{s}, err
+		},
+		Render: renderSeries("fig4",
+			"Fig 4: PCM-S/MWSR normalized lifetime (%) vs number of regions, BPA",
+			"regions", true),
+	})
+	Register(Experiment{
+		Name:        "fig5",
+		Description: "hybrid lifetime vs on-chip cache budget (BPA)",
+		Figure:      "Fig 5",
+		Order:       50, InAll: true, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig5", 2*2*len(fig5Budgets))
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig5(sc)
+			return Result{s}, err
+		},
+		Render: renderSeries("fig5",
+			"Fig 5: hybrid lifetime (%) vs on-chip cache budget (KB), BPA",
+			"budgetKB", false),
+	})
+	Register(Experiment{
+		Name:        "fig15",
+		Description: "PCM-S / MWSR / SAWL lifetime vs swapping period (BPA)",
+		Figure:      "Fig 15",
+		Order:       150, InAll: true, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs("fig15", 2*3*4) // 2 panels x {PCMS,MWSR,SAWL} x 4 periods
+		},
+		Run: func(sc Scale) (Result, error) {
+			s, err := RunFig15(sc)
+			return Result{s}, err
+		},
+		Render: renderSeries("fig15",
+			"Fig 15: normalized lifetime (%) vs swapping period, BPA",
+			"period", false),
+	})
+	Register(Experiment{
+		Name:        "fig16",
+		Description: "lifetime under 14 SPEC-like applications",
+		Figure:      "Fig 16",
+		Order:       160, InAll: true, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			n := len(fig16Schemes) * len(workload.Names())
+			return append(planJobs("fig16a", n), planJobs("fig16b", n)...)
+		},
+		Run: func(sc Scale) (Result, error) {
+			var p fig16Panels
+			var err error
+			if p.Coarse, err = RunFig16(sc, true); err != nil {
+				return Result{p}, err
+			}
+			p.Fine, err = RunFig16(sc, false)
+			return Result{p}, err
+		},
+		Render: renderFig16,
+	})
+	Register(Experiment{
+		Name:        "attack",
+		Description: "RAA + BPA resilience verdict per scheme (Sec 2.2)",
+		Figure:      "Sec 2.2",
+		Order:       220,
+		Plan: func(sc Scale) []JobSpec {
+			return planJobs(attackFig(AttackKinds), len(AttackKinds))
+		},
+		Run: func(sc Scale) (Result, error) {
+			scores, err := RunAttackScores(sc, AttackKinds)
+			return Result{scores}, err
+		},
+		Render: renderAttack,
+	})
+	Register(Experiment{
+		Name:        "sweep",
+		Description: "BPA lifetime over region-size x period grid (-scheme)",
+		Figure:      "-",
+		Order:       230, Sharded: true,
+		Plan: func(sc Scale) []JobSpec {
+			kind, regionLines, periods := sweepParams(sc)
+			return planJobs(sweepFig(kind, regionLines, periods), len(periods)*len(regionLines))
+		},
+		Run: func(sc Scale) (Result, error) {
+			kind, regionLines, periods := sweepParams(sc)
+			s, err := RunSweep(sc, kind, regionLines, periods)
+			return Result{sweepResult{Kind: kind, Series: s}}, err
+		},
+		Render: func(r Result) ([]Table, []SVG) {
+			res, _ := r.Value.(sweepResult)
+			g := SVG{Name: "sweep",
+				Title: fmt.Sprintf("BPA lifetime (%%) sweep: %s", res.Kind),
+				XName: "regionLines", YName: "value", Series: res.Series}
+			return []Table{figTable(g, "%.2f")}, []SVG{g}
+		},
+	})
 }
 
-// benchFootprintCost ranks benchmark-major job lists by the benchmark's
-// canonical footprint — the dominant driver of per-job wall time in the
-// SPEC sweeps (Figs 16 and 17). Job i is assumed to target
-// names[i%len(names)].
-func benchFootprintCost(names []string) func(i int) float64 {
-	pages := make([]float64, len(names))
-	for bi, name := range names {
-		if p, ok := workload.ProfileByName(name); ok {
-			pages[bi] = float64(p.Pages)
+// fig16Panels is the fig16 experiment's payload: panel (a) coarse regions,
+// panel (b) fine regions. An interrupted run carries whatever completed.
+type fig16Panels struct {
+	Coarse, Fine []Series
+}
+
+// sweepResult is the sweep experiment's payload.
+type sweepResult struct {
+	Kind   SchemeKind
+	Series []Series
+}
+
+// renderFig16 renders both Fig 16 panels: per-panel tables with benchmark
+// rows relabeled to names, Hmean last, plus one SVG per panel.
+func renderFig16(r Result) ([]Table, []SVG) {
+	p, _ := r.Value.(fig16Panels)
+	var tables []Table
+	var svgs []SVG
+	panel := func(name, sub string, series []Series) {
+		if series == nil {
+			return
 		}
+		g := SVG{Name: name,
+			Title: fmt.Sprintf("Fig 16 %s: normalized lifetime (%%) under SPEC-like applications", sub),
+			XName: "bench#", YName: "value", Series: series}
+		t := figTable(g, "%.1f")
+		relabelBenchRows(&t)
+		tables = append(tables, t)
+		svgs = append(svgs, g)
 	}
-	return func(i int) float64 { return pages[i%len(pages)] }
+	panel("fig16a", "(a) coarse regions", p.Coarse)
+	panel("fig16b", "(b) fine regions", p.Fine)
+	return tables, svgs
+}
+
+// renderAttack renders the per-scheme RAA/BPA scores and verdicts.
+func renderAttack(r Result) ([]Table, []SVG) {
+	scores, _ := r.Value.([]analysis.AttackScore)
+	t := Table{
+		Title:   "Attack resilience (Sec 2.2)",
+		Columns: []string{"scheme", "RAA life%", "BPA life%", "verdict"},
+	}
+	for i, score := range scores {
+		t.Rows = append(t.Rows, []string{
+			string(AttackKinds[i]),
+			fmt.Sprintf("%.1f%%", 100*score.RAANormalized),
+			fmt.Sprintf("%.1f%%", 100*score.BPANormalized),
+			score.Verdict(),
+		})
+	}
+	return []Table{t}, nil
 }
 
 // RunAttackScore measures one scheme's normalized lifetime under RAA and a
@@ -456,15 +615,44 @@ func attackScore(sc Scale, kind SchemeKind, seed uint64) (analysis.AttackScore, 
 	return analysis.AttackScore{RAANormalized: raa, BPANormalized: bpa}, nil
 }
 
+// AttackKinds are the schemes the `attack` experiment scores — every
+// implemented scheme, baseline first (Sec 2.2's resilience comparison).
+var AttackKinds = []SchemeKind{Baseline, SegmentSwap, RBSG, TLSR, PCMS, MWSR, SAWL}
+
+// attackFig is the attack sweep's cache identity: the scheme list is a
+// sweep parameter outside Scale, so it is part of the identity.
+func attackFig(kinds []SchemeKind) string { return fmt.Sprintf("attack:%v", kinds) }
+
 // RunAttackScores fans RunAttackScore out over the given schemes on the
 // scale's worker pool, returning one score per scheme in input order.
 func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, error) {
-	// The scheme list is a sweep parameter outside Scale, so it is part of
-	// the cache identity.
-	fig := fmt.Sprintf("attack:%v", kinds)
-	return exec.Map(sc.cachedPool(fig, nil), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
+	return exec.Map(sc.cachedPool(attackFig(kinds), false, nil), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
 		return attackScore(sc, kinds[i], seed)
 	})
+}
+
+// SweepRegionLines and SweepPeriods are the default region-size x period
+// grid of the generic `sweep` experiment.
+var (
+	SweepRegionLines = []uint64{4, 16, 64, 256}
+	SweepPeriods     = []uint64{8, 16, 32, 64}
+)
+
+// sweepParams resolves the registered `sweep` experiment's parameters from
+// the scale: the selected scheme (Scale.SweepScheme, default PCMS) over the
+// default grid.
+func sweepParams(sc Scale) (SchemeKind, []uint64, []uint64) {
+	kind := sc.SweepScheme
+	if kind == "" {
+		kind = PCMS
+	}
+	return kind, SweepRegionLines, SweepPeriods
+}
+
+// sweepFig is the sweep's cache identity: scheme and grid are sweep
+// parameters outside Scale, so they are part of the identity.
+func sweepFig(kind SchemeKind, regionLines, periods []uint64) string {
+	return fmt.Sprintf("sweep:%s:q%v:p%v", kind, regionLines, periods)
 }
 
 // RunSweep measures BPA lifetime for one scheme across region sizes and
@@ -472,7 +660,7 @@ func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, erro
 // `sweep` experiment. Each series is one period; X is the region size in
 // lines.
 func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Series, error) {
-	fig := fmt.Sprintf("sweep:%s:q%v:p%v", kind, regionLines, periods)
+	fig := sweepFig(kind, regionLines, periods)
 	var onJob func(i int, y float64)
 	if st := newSeriesStreamer(sc, fig); st != nil {
 		for _, period := range periods {
@@ -484,13 +672,13 @@ func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Serie
 		}
 	}
 	sh := newSharder(sc)
-	norms, err := runJobsStream(sc, fig, nil, len(periods)*len(regionLines), onJob,
+	norms, err := runJobsStream(sc, fig, true, nil, len(periods)*len(regionLines), onJob,
 		func(i int, seed uint64) (float64, error) {
 			period, q := periods[i/len(regionLines)], regionLines[i%len(regionLines)]
 			res, err := sh.run(SystemConfig{
 				Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 				Endurance: sc.AttackEndurance, Period: period,
-				RegionLines: q, Regions: sc.AttackLines / q, InitGran: min64(q, 64),
+				RegionLines: q, Regions: sc.AttackLines / q, InitGran: min(q, 64),
 				CMTEntries: sc.CMTEntries, Seed: seed,
 			}, bpaAttack(seed, period*q), 0)
 			if err != nil {
@@ -510,11 +698,4 @@ func RunSweep(sc Scale, kind SchemeKind, regionLines, periods []uint64) ([]Serie
 		out = append(out, s)
 	}
 	return out, nil
-}
-
-func min64(a, b uint64) uint64 {
-	if a < b {
-		return a
-	}
-	return b
 }

@@ -97,6 +97,18 @@ func HarmonicMean(xs []float64) float64 {
 	return float64(len(xs)) / inv
 }
 
+// CycleCost builds a longest-job-first cost hint (internal/exec.Pool.Cost)
+// from per-item weights, for job lists laid out in item-major cycles: job i
+// is assumed to target item i%len(weights). The SPEC sweeps use it with the
+// benchmarks' canonical footprints, the dominant driver of per-job wall
+// time. An empty weight list yields nil (no cost ordering).
+func CycleCost(weights []float64) func(i int) float64 {
+	if len(weights) == 0 {
+		return nil
+	}
+	return func(i int) float64 { return weights[i%len(weights)] }
+}
+
 // GiniUint32 computes the Gini coefficient of a non-negative integer sample
 // (per-line write counts). 0 means perfectly uniform wear; values near 1
 // mean writes concentrated on few lines. Returns 0 for empty or all-zero

@@ -257,6 +257,19 @@ func Names() []string {
 	return out
 }
 
+// Footprints returns each named profile's canonical footprint in pages —
+// the relative per-job cost of simulating it (unknown names weigh 0).
+// Feed it to metrics.CycleCost for longest-job-first sweep dispatch.
+func Footprints(names []string) []float64 {
+	out := make([]float64, len(names))
+	for i, name := range names {
+		if p, ok := ProfileByName(name); ok {
+			out[i] = float64(p.Pages)
+		}
+	}
+	return out
+}
+
 // SortedNames returns the profile names sorted alphabetically.
 func SortedNames() []string {
 	out := Names()

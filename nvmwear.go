@@ -549,6 +549,35 @@ func (s *System) WearReport() analysis.WearReport {
 	return analysis.Wear(s.dev.WearCounts())
 }
 
+func init() {
+	Register(Experiment{
+		Name:        "project",
+		Description: "wall-clock lifetime projection for a full-size device",
+		Figure:      "Sec 2.2",
+		Order:       240,
+		Run: func(sc Scale) (Result, error) {
+			p := sc.Project.withDefaults()
+			return Result{ProjectLifetime(p.CapacityGB<<30, p.Endurance,
+				p.BandwidthGBps*float64(1<<30), p.Normalized)}, nil
+		},
+		Render: func(r Result) ([]Table, []SVG) {
+			p, _ := r.Value.(analysis.Projection)
+			return []Table{{
+				Title:   "Lifetime projection (Sec 2.2)",
+				Columns: []string{"metric", "value"},
+				Rows: [][]string{
+					{"capacity", fmt.Sprintf("%d GB", p.CapacityBytes>>30)},
+					{"endurance", fmt.Sprintf("%d", p.Endurance)},
+					{"write bandwidth", fmt.Sprintf("%.2f GB/s", p.WriteBandwidth/float64(1<<30))},
+					{"ideal lifetime", fmt.Sprintf("%.1f months", analysis.Months(p.Ideal()))},
+					{"projected", fmt.Sprintf("%.1f months (%.1f%% of ideal)",
+						analysis.Months(p.Projected()), 100*p.Normalized)},
+				},
+			}}, nil
+		},
+	})
+}
+
 // ProjectLifetime converts a measured normalized lifetime into a
 // wall-clock projection for a full-size device — the paper's Sec 2.2
 // arithmetic (64 GB at 10^5 endurance and 1 GBps writes = 2.5 ideal

@@ -223,22 +223,10 @@ func TestRegionsForBudgetMonotone(t *testing.T) {
 	}
 }
 
-// tinyScale keeps figure-runner integration tests fast.
-func tinyScale() Scale {
-	return Scale{
-		Name:            "tiny",
-		AttackLines:     1 << 10,
-		AttackEndurance: 800,
-		SpecLines:       1 << 10,
-		SpecEndurance:   600,
-		SpecPeriod:      8,
-		TraceLines:      1 << 18,
-		Requests:        1 << 17,
-		CMTEntries:      256,
-		SpareFrac:       32,
-		Seed:            7,
-	}
-}
+// tinyScale keeps figure-runner integration tests fast. It is the exported
+// ScaleTiny preset (`wlsim -scale tiny`), whose parameters the testdata/
+// goldens pin.
+func tinyScale() Scale { return ScaleTiny }
 
 func TestRunFig3Shape(t *testing.T) {
 	series := must(RunFig3(tinyScale()))

@@ -10,6 +10,35 @@ import (
 
 // This file implements Sec 4.5's hardware-overhead arithmetic and Table 1.
 
+func init() {
+	Register(Experiment{
+		Name:        "table1",
+		Description: "simulated system configuration (Table 1)",
+		Figure:      "Table 1",
+		Order:       10, InAll: true,
+		Run: func(Scale) (Result, error) { return Result{RunTable1()}, nil },
+		Render: func(r Result) ([]Table, []SVG) {
+			t, _ := r.Value.(Table)
+			return []Table{t}, nil
+		},
+	})
+	Register(Experiment{
+		Name:        "overhead",
+		Description: "hardware overhead arithmetic (Sec 4.5)",
+		Figure:      "Sec 4.5",
+		Order:       200, InAll: true,
+		Run: func(Scale) (Result, error) {
+			// The paper's full-size configuration: 64 GB, 64M regions, GTD
+			// granularity 32 — independent of the experiment scale.
+			return Result{RunOverhead(64<<30, 64<<20, 32)}, nil
+		},
+		Render: func(r Result) ([]Table, []SVG) {
+			rep, _ := r.Value.(OverheadReport)
+			return []Table{rep.Table()}, nil
+		},
+	})
+}
+
 // OverheadReport holds the storage costs of the tiered architecture for a
 // full-size configuration.
 type OverheadReport struct {
@@ -73,6 +102,27 @@ MWSR table on chip  %.0f MB
 		float64(r.GTDBytes)/(1<<10),
 		float64(r.PCMSOnChipBytes)/(1<<20),
 		float64(r.MWSROnChipBytes)/(1<<20))
+}
+
+// Table returns the report as a Table — the registry Render shape. The
+// formatted values match Render line for line.
+func (r OverheadReport) Table() Table {
+	return Table{
+		Title:   "Hardware overhead (Sec 4.5)",
+		Columns: []string{"item", "value"},
+		Rows: [][]string{
+			{"capacity", fmt.Sprintf("%d GB", r.CapacityBytes>>30)},
+			{"lines", fmt.Sprintf("%d", r.Lines)},
+			{"regions", fmt.Sprintf("%d", r.Regions)},
+			{"IMT (NVM reserved)", fmt.Sprintf("%.0f MB (%.2f%% of capacity)",
+				float64(r.IMTBytes)/(1<<20), 100*r.IMTFraction)},
+			{"translation lines", fmt.Sprintf("%d", r.TranslationLines)},
+			{"GTD (on-chip)", fmt.Sprintf("%.0f KB", float64(r.GTDBytes)/(1<<10))},
+			{"PCM-S table on chip", fmt.Sprintf("%.0f MB (the cost SAWL avoids)",
+				float64(r.PCMSOnChipBytes)/(1<<20))},
+			{"MWSR table on chip", fmt.Sprintf("%.0f MB", float64(r.MWSROnChipBytes)/(1<<20))},
+		},
+	}
 }
 
 // RunTable1 returns the paper's simulated-system configuration (Table 1)

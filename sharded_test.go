@@ -238,49 +238,14 @@ func TestSeriesDoneStreamsFinalSeries(t *testing.T) {
 	}
 }
 
-// The staleness planner must predict exactly the job lists the runners
-// submit: any drift between sweepPlan and a runner shows up here as a
-// job-count mismatch against the runner's own Progress total.
-func TestSweepPlanMatchesRunners(t *testing.T) {
-	cases := []struct {
-		fig string
-		run func(sc Scale) error
-	}{
-		{"fig3", func(sc Scale) error { _, err := RunFig3(sc); return err }},
-		{"fig5", func(sc Scale) error { _, err := RunFig5(sc); return err }},
-		{"fig12", func(sc Scale) error { _, err := RunFig12(sc); return err }},
-		{"fig13", func(sc Scale) error { _, _, err := RunFig13(sc); return err }},
-		{"fig14", func(sc Scale) error { _, err := RunFig14(sc); return err }},
-		{"fig15", func(sc Scale) error { _, err := RunFig15(sc); return err }},
-	}
-	for _, c := range cases {
-		t.Run(c.fig, func(t *testing.T) {
-			sc := tinyScale()
-			plan := sc.sweepPlan(c.fig)
-			if len(plan) != 1 {
-				t.Fatalf("sweepPlan(%q) = %d sweeps, want 1", c.fig, len(plan))
-			}
-			var total int
-			sc.Progress = func(done, tot int) { total = tot }
-			if err := c.run(sc); err != nil {
-				t.Fatal(err)
-			}
-			if plan[0].jobs != total {
-				t.Fatalf("planner predicts %d jobs, runner submitted %d", plan[0].jobs, total)
-			}
-			if plan[0].fig != c.fig {
-				t.Fatalf("planner fig %q, want %q", plan[0].fig, c.fig)
-			}
-		})
-	}
-}
-
 // CacheFreshness probes real store entries: all-stale before a run, fully
-// cached after, and salted per shard layout (a sharded sweep does not
-// claim the serial sweep's cache entries).
+// cached after; shard-layout key salting follows the experiment's Sharded
+// capability flag. (TestExperimentPlanMatchesDispatch pins the planner's
+// job lists against every runner's actual dispatch.)
 func TestCacheFreshnessTracksStore(t *testing.T) {
 	sc := tinyScale()
-	sc.Cache = openCache(t, t.TempDir())
+	st := openCache(t, t.TempDir())
+	sc.Cache = st
 
 	before := sc.CacheFreshness("fig12")
 	if len(before) != 1 || before[0].Cached != 0 || before[0].Stale() != before[0].Jobs {
@@ -294,15 +259,41 @@ func TestCacheFreshnessTracksStore(t *testing.T) {
 		t.Fatalf("warm-cache freshness = %+v, want fully cached", after)
 	}
 
-	// A different shard layout salts the keys: nothing is falsely fresh.
+	// fig12's lifetime runs never go through the sharder: its keys — and so
+	// its freshness — are layout-independent, and a -shards run correctly
+	// reuses the serial entries.
 	sharded := sc
 	sharded.Shards = 4
-	if f := sharded.CacheFreshness("fig12"); f[0].Cached != 0 {
+	if f := sharded.CacheFreshness("fig12"); f[0].Cached != f[0].Jobs {
+		t.Fatalf("unsharded experiment lost freshness under -shards: %+v", f)
+	}
+
+	// A sharded experiment's keys are salted with the layout: entries under
+	// the serial keys are invisible to a sharded probe.
+	fig3, ok := LookupExperiment("fig3")
+	if !ok || !fig3.Sharded {
+		t.Fatalf("fig3 not registered as a sharded experiment")
+	}
+	for _, j := range fig3.Plan(sc) {
+		if err := st.Put(sc.cacheKey(j.Fig, true, j.Index), []byte{1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f := sc.CacheFreshness("fig3"); len(f) != 1 || f[0].Stale() != 0 {
+		t.Fatalf("planted serial entries not fresh: %+v", f)
+	}
+	if f := sharded.CacheFreshness("fig3"); f[0].Cached != 0 {
 		t.Fatalf("sharded layout reports %d serial entries as fresh", f[0].Cached)
 	}
 
-	// No cache open: the report is nil, not a panic.
+	// No cache open, no plan, or no such experiment: nil, not a panic.
 	if f := tinyScale().CacheFreshness("fig12"); f != nil {
 		t.Fatalf("cacheless freshness = %+v, want nil", f)
+	}
+	if f := sc.CacheFreshness("table1"); f != nil {
+		t.Fatalf("planless freshness = %+v, want nil", f)
+	}
+	if f := sc.CacheFreshness("no-such-experiment"); f != nil {
+		t.Fatalf("unknown-experiment freshness = %+v, want nil", f)
 	}
 }

@@ -1,17 +1,11 @@
 package nvmwear
 
-import (
-	"fmt"
-
-	"nvmwear/internal/workload"
-)
-
 // This file implements the pre-run cache staleness report behind
-// `wlsim all`: before an experiment executes, the planner below predicts
-// its exact job list (same fig identities, counts, and cache-key salting as
-// the runners) and probes the open result store for each key — so a whole
-// experiment that is fully cached is visibly "0 stale" before any
-// simulation starts.
+// `wlsim all`: before an experiment executes, its registered Plan predicts
+// the exact job list (same fig identities, counts, and cache-key salting as
+// the runner) and every key is probed against the open result store — so a
+// whole experiment that is fully cached is visibly "0 stale", and skipped,
+// before any simulation starts.
 
 // FigFreshness reports one sweep's cache coverage: how many of its jobs
 // already have a stored result under the current scale, seed and shard
@@ -30,70 +24,38 @@ func (f FigFreshness) Stale() int { return f.Jobs - f.Cached }
 // internal/store.Store implements it.
 type cacheProber interface{ Has(key string) bool }
 
-// CacheFreshness predicts the named experiment's sweeps and probes the open
-// result store for every job key, without executing anything. It returns
-// nil when the scale has no cache open, the cache cannot probe cheaply, or
-// the experiment has no cacheable sweep (table1, overhead, project).
+// CacheFreshness probes the open result store for every job key of the
+// named experiment's registered Plan, without executing anything. Jobs are
+// grouped per fig identity in plan order (fig16 plans two sweeps, most
+// experiments one). It returns nil when the scale has no cache open, the
+// cache cannot probe cheaply, or the experiment is unregistered or has no
+// sweep plan (table1, overhead, project).
 //
-// The per-figure job counts mirror the runners' job-list construction; a
-// regression test pins them to the counts the runners actually submit.
+// The plan mirrors the runner's job-list construction by contract;
+// TestExperimentPlanMatchesDispatch pins Plan to the jobs Run actually
+// submits for every registered experiment.
 func (sc Scale) CacheFreshness(experiment string) []FigFreshness {
 	probe, ok := sc.Cache.(cacheProber)
 	if !ok {
 		return nil
 	}
+	e, ok := LookupExperiment(experiment)
+	if !ok || e.Plan == nil {
+		return nil
+	}
 	var out []FigFreshness
-	for _, p := range sc.sweepPlan(experiment) {
-		f := FigFreshness{Fig: p.fig, Jobs: p.jobs}
-		for i := 0; i < p.jobs; i++ {
-			if probe.Has(sc.cacheKey(p.fig, i)) {
-				f.Cached++
-			}
+	idx := map[string]int{}
+	for _, j := range e.Plan(sc) {
+		k, seen := idx[j.Fig]
+		if !seen {
+			k = len(out)
+			idx[j.Fig] = k
+			out = append(out, FigFreshness{Fig: j.Fig})
 		}
-		out = append(out, f)
+		out[k].Jobs++
+		if probe.Has(sc.cacheKey(j.Fig, e.Sharded, j.Index)) {
+			out[k].Cached++
+		}
 	}
 	return out
-}
-
-// sweepSpec is one planned sweep: its cache identity and job count.
-type sweepSpec struct {
-	fig  string
-	jobs int
-}
-
-// sweepPlan returns the sweeps the named experiment will run. Counts are
-// derived from the same inputs the runners use (regionSweep, the shared
-// scheme/benchmark lists), so planner and runner cannot drift silently —
-// and TestSweepPlanMatchesRunners pins the rest.
-func (sc Scale) sweepPlan(experiment string) []sweepSpec {
-	rs := len(regionSweep(sc.AttackLines))
-	nb := len(workload.Names())
-	one := func(fig string, jobs int) []sweepSpec { return []sweepSpec{{fig, jobs}} }
-	switch experiment {
-	case "fig3":
-		return one("fig3", 2*4*rs) // 2 endurance panels x 4 periods
-	case "fig4":
-		return one("fig4", 2*2*4*rs) // 2 panels x 2 schemes x 4 periods
-	case "fig5":
-		return one("fig5", 2*2*len(fig5Budgets))
-	case "fig12":
-		return one("fig12", len(scaledWindows(sc)))
-	case "fig13":
-		return one("fig13", len(scaledWindows(sc)))
-	case "fig14":
-		return one("fig14", 3*len(fig14Benches)) // NWL-4, NWL-64, SAWL per bench
-	case "fig15":
-		return one("fig15", 2*3*4) // 2 panels x {PCMS,MWSR,SAWL} x 4 periods
-	case "fig16":
-		return []sweepSpec{
-			{"fig16a", len(fig16Schemes) * nb},
-			{"fig16b", len(fig16Schemes) * nb},
-		}
-	case "fig17":
-		return one("fig17", (1+len(Fig17Schemes))*nb) // baseline row + schemes
-	case "fault":
-		return one(fmt.Sprintf("fault:%v:%v", FaultSchemes, FaultRates),
-			len(FaultSchemes)*len(FaultRates))
-	}
-	return nil
 }
