@@ -1,0 +1,119 @@
+package nvmwear
+
+import (
+	"fmt"
+	"testing"
+
+	"nvmwear/internal/fault"
+	"nvmwear/internal/lifetime"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/wl"
+)
+
+// TestBatchScalarEquivalence pins the batched epoch-stepped access path to
+// the scalar path: for every registered scheme, the same seeds must produce
+// identical Result structs, identical scheme/device accounting and
+// identical per-line wear vectors — with and without fault injection, on a
+// run-heavy workload (BPA) and a mixed read/write one (Uniform). Endurance
+// is set low enough that some combinations kill the device mid-run, so the
+// death orderings of nvm.WriteRun/ReadRun are exercised too.
+func TestBatchScalarEquivalence(t *testing.T) {
+	workloads := []WorkloadSpec{
+		{Kind: WorkloadBPA, Seed: 9},
+		{Kind: WorkloadUniform, WriteRatio: 0.7, Seed: 9},
+	}
+	faults := []fault.Config{
+		{},
+		{TransientWriteRate: 0.002, StuckAtRate: 0.0005, ReadDisturbRate: 0.003, MetadataRate: 0.002, Seed: 11},
+	}
+	for _, scheme := range Schemes() {
+		for fi, fc := range faults {
+			for _, w := range workloads {
+				cfg := SystemConfig{
+					Scheme:     scheme,
+					Lines:      1 << 12,
+					SpareLines: 48,
+					Endurance:  60,
+					Period:     8,
+					Regions:    64,
+					CMTEntries: 256,
+					// Tight adaptation windows so SAWL actually cycles
+					// through merge and split modes within the run.
+					ObservationWindow: 20000,
+					SettlingWindow:    10000,
+					CheckEvery:        5000,
+					Seed:              7,
+					Fault:             fc,
+				}
+				name := fmt.Sprintf("%s/fault=%v/%s", scheme, fi == 1, workloadName(t, w, cfg.Lines))
+				t.Run(name, func(t *testing.T) {
+					scalar := runOnePath(t, cfg, w, true)
+					batched := runOnePath(t, cfg, w, false)
+					if scalar.res != batched.res {
+						t.Errorf("results diverge:\n scalar : %+v\n batched: %+v", scalar.res, batched.res)
+					}
+					if scalar.st != batched.st {
+						t.Errorf("scheme stats diverge:\n scalar : %+v\n batched: %+v", scalar.st, batched.st)
+					}
+					if scalar.ds != batched.ds {
+						t.Errorf("device stats diverge:\n scalar : %+v\n batched: %+v", scalar.ds, batched.ds)
+					}
+					if len(scalar.wear) != len(batched.wear) {
+						t.Fatalf("wear vector length %d vs %d", len(scalar.wear), len(batched.wear))
+					}
+					for i := range scalar.wear {
+						if scalar.wear[i] != batched.wear[i] {
+							t.Fatalf("wear diverges at line %d: scalar %d, batched %d",
+								i, scalar.wear[i], batched.wear[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// pathOutcome is everything one run exposes: the Result, the scheme's and
+// device's full accounting, and the final per-line wear vector.
+type pathOutcome struct {
+	res  lifetime.Result
+	st   wl.Stats
+	ds   nvm.Stats
+	wear []uint32
+}
+
+// runOnePath runs one (config, workload) lifetime with the batched path
+// forced off or on. Timing is disabled so Result structs compare exactly.
+func runOnePath(t *testing.T, cfg SystemConfig, w WorkloadSpec, disableBatch bool) pathOutcome {
+	t.Helper()
+	sys, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatalf("NewSystem: %v", err)
+	}
+	stream, name, err := w.Build(cfg.Lines)
+	if err != nil {
+		t.Fatalf("Build workload: %v", err)
+	}
+	res := lifetime.Run(sys.dev, sys.lv, stream, lifetime.Options{
+		MaxWrites:    120_000,
+		Workload:     name,
+		NoTiming:     true,
+		DisableBatch: disableBatch,
+	})
+	return pathOutcome{
+		res:  res,
+		st:   sys.lv.Stats(),
+		ds:   sys.dev.Stats(),
+		wear: sys.dev.WearCountsCopy(),
+	}
+}
+
+// workloadName resolves the label a spec builds under (test naming only).
+func workloadName(t *testing.T, w WorkloadSpec, lines uint64) string {
+	t.Helper()
+	_, name, err := w.Build(lines)
+	if err != nil {
+		t.Fatalf("Build workload: %v", err)
+	}
+	return name
+}

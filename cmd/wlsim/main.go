@@ -56,6 +56,8 @@ func main() {
 	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the -cache store before running")
 	force := flag.Bool("force", false, "all: re-run experiments even when fully cached")
@@ -152,11 +154,23 @@ func main() {
 	sc.Context = ctx
 
 	d := &nvmwear.Driver{
-		Scale:  sc,
-		Out:    os.Stdout,
-		Format: *format,
-		SVGDir: *svgDir,
-		Force:  *force,
+		Scale:      sc,
+		Out:        os.Stdout,
+		Format:     *format,
+		SVGDir:     *svgDir,
+		Force:      *force,
+		CPUProfile: *cpuProfile,
+		MemProfile: *memProfile,
+	}
+	if err := d.StartProfiling(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		closeCache()
+		os.Exit(1)
+	}
+	stopProfiles := func() {
+		if err := d.StopProfiling(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+		}
 	}
 	if !*quiet {
 		// Per-job progress on stderr: one carriage-returned counter line
@@ -195,6 +209,7 @@ func main() {
 			return
 		}
 		fmt.Fprintf(os.Stderr, "\n%v\n", err)
+		stopProfiles()
 		if errors.Is(err, nvmwear.ErrInterrupted) {
 			fmt.Fprintln(os.Stderr, "partial results flushed")
 			closeCache()
@@ -218,6 +233,7 @@ func main() {
 		}
 		fail(d.Run(target))
 	}
+	stopProfiles()
 }
 
 func usage() {
@@ -258,6 +274,10 @@ identical table. Corrupt entries are detected, quarantined and recomputed,
 never trusted. -cache-clear empties the store first (alone, with no
 experiment, it just empties and exits). Each sweep's summary line reports
 cache hits/misses/recomputed.
+
+-cpuprofile FILE / -memprofile FILE write pprof profiles for `+"`go tool pprof`"+`:
+the CPU profile covers the whole run, the heap profile is a post-GC snapshot
+taken after the last experiment finishes.
 
 experiments (from the package registry; * = part of "all"):
 `)

@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"nvmwear/internal/metrics"
@@ -32,10 +33,72 @@ type Driver struct {
 	// driver updates the experiment's accumulating partial SVG.
 	SeriesDone func(fig string, s Series)
 
+	// CPUProfile and MemProfile name pprof output files. StartProfiling
+	// begins the CPU profile; StopProfiling ends it and snapshots the heap.
+	// Empty fields disable the respective profile.
+	CPUProfile string
+	MemProfile string
+
 	// Partial-SVG accumulation for the running experiment: series land here
 	// as they complete and are superseded by the final figures on success.
 	partialSeries map[string][]Series
 	partialFiles  map[string]bool
+
+	cpuFile  *os.File
+	profDone bool
+}
+
+// StartProfiling opens CPUProfile (if set) and starts the CPU profile.
+// Callers must pair it with StopProfiling on every exit path, or the
+// profile file is truncated and unusable.
+func (d *Driver) StartProfiling() error {
+	if d.CPUProfile == "" {
+		return nil
+	}
+	f, err := os.Create(d.CPUProfile)
+	if err != nil {
+		return err
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		return err
+	}
+	d.cpuFile = f
+	return nil
+}
+
+// StopProfiling flushes the running CPU profile and, with MemProfile set,
+// writes a post-GC heap snapshot. Idempotent: only the first call writes.
+func (d *Driver) StopProfiling() error {
+	if d.profDone {
+		return nil
+	}
+	d.profDone = true
+	var first error
+	if d.cpuFile != nil {
+		pprof.StopCPUProfile()
+		if err := d.cpuFile.Close(); err != nil {
+			first = err
+		}
+		d.cpuFile = nil
+	}
+	if d.MemProfile != "" {
+		f, err := os.Create(d.MemProfile)
+		if err != nil {
+			if first == nil {
+				first = err
+			}
+			return first
+		}
+		runtime.GC() // settle allocations so the snapshot reflects live heap
+		if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+			first = err
+		}
+		if err := f.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
 }
 
 func (d *Driver) out() io.Writer {

@@ -119,6 +119,26 @@ func (c *Cache) Lookup(lrn0 uint64) (Entry, bool) {
 	return Entry{}, false
 }
 
+// Front returns the MRU entry without recording a hit or touching LRU
+// order. The batched access path uses it to prove that a run of repeated
+// lookups would all hit the same entry before folding them.
+func (c *Cache) Front() (Entry, bool) {
+	if c.size == 0 {
+		return Entry{}, false
+	}
+	return c.head.next.Entry, true
+}
+
+// RepeatHits records n hits on the MRU entry at once — exactly what n
+// Lookup calls resolving to the front node would record. The front node is
+// always in the first half (firstCount == ceil(size/2) >= 1 and first-half
+// nodes form a prefix of the stack), and promoting it is a no-op, so only
+// the counters move.
+func (c *Cache) RepeatHits(n uint64) {
+	c.hits += n
+	c.firstHits += n
+}
+
 // Peek returns the entry covering lrn0 without touching LRU order or
 // counters.
 func (c *Cache) Peek(lrn0 uint64) (Entry, bool) {
@@ -176,6 +196,13 @@ func (c *Cache) Remove(level uint8, base uint64) bool {
 // Update rewrites the mapping of an existing entry in place without
 // changing LRU order. Returns false if absent.
 func (c *Cache) Update(level uint8, base uint64, prn, key uint64) bool {
+	// Front fast path: exchanges update the region just accessed, whose
+	// entry is almost always the MRU node — skip the map lookup.
+	if f := c.head.next; c.size > 0 && f.Level == level && f.Base == base {
+		f.Prn = prn
+		f.Key = key
+		return true
+	}
 	n, ok := c.index[pack(level, base)]
 	if !ok {
 		return false

@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/wltest"
+)
+
+func benchConfig(adaptive bool) Config {
+	return Config{
+		Lines:      1 << 14,
+		Period:     8,
+		CMTEntries: 1 << 12,
+		Adaptive:   adaptive,
+		Seed:       1,
+	}.withDefaults()
+}
+
+// BenchmarkAccess measures the fixed-granularity engine (NWL).
+func BenchmarkAccess(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		cfg := benchConfig(false)
+		return New(wltest.BenchDevice(cfg.DeviceLines()), cfg)
+	})
+}
+
+// BenchmarkAccessAdaptive measures the self-adaptive engine (SAWL).
+func BenchmarkAccessAdaptive(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		cfg := benchConfig(true)
+		return New(wltest.BenchDevice(cfg.DeviceLines()), cfg)
+	})
+}

@@ -176,6 +176,7 @@ type Scheme struct {
 	cfg      Config
 	dev      *nvm.Device
 	p        uint64 // initial granularity in lines
+	pShift   uint   // log2(p): the hot path shifts instead of dividing
 	nRegions uint64 // R0: initial-granularity regions
 	maxLevel uint8
 
@@ -185,15 +186,21 @@ type Scheme struct {
 	rev   []uint32 // physical initial slot -> logical initial region
 	ctr   []uint32 // demand-write counter, valid at each region's base
 
-	src  *rng.Source
-	bufA []uint64
-	bufB []uint64
+	src    *rng.Source
+	bufA   []uint64
+	bufB   []uint64
+	revBuf []uint32 // relocateOccupants snapshot scratch
 
 	window   *metrics.HitWindow
 	mode     Mode
 	lowRun   uint64
 	highRun  uint64
 	requests uint64
+
+	// metaFaults records whether the IMT runs with fault injection armed;
+	// the batch path may only fold split-mode accesses when it is off
+	// (trySplit's table lookup is observable under injection).
+	metaFaults bool
 
 	stats  wl.Stats
 	merges uint64
@@ -234,6 +241,7 @@ func New(dev *nvm.Device, cfg Config) *Scheme {
 		cfg:      cfg,
 		dev:      dev,
 		p:        cfg.InitGran,
+		pShift:   uint(addr.Log2(cfg.InitGran)),
 		nRegions: nRegions,
 		maxLevel: maxLevel,
 		table:    imt.New(dir, cfg.Lines, cfg.InitGran, cfg.EntriesPerTransLine),
@@ -244,6 +252,7 @@ func New(dev *nvm.Device, cfg Config) *Scheme {
 		src:      rng.New(cfg.Seed ^ 0x5a317a5317a53),
 		bufA:     make([]uint64, cfg.MaxGranLines),
 		bufB:     make([]uint64, cfg.MaxGranLines),
+		revBuf:   make([]uint32, cfg.MaxGranLines),
 		window:   metrics.NewHitWindow(cfg.ObservationWindow, 64),
 	}
 	for i := uint64(0); i < nRegions; i++ {
@@ -251,6 +260,7 @@ func New(dev *nvm.Device, cfg Config) *Scheme {
 	}
 	if inj := fault.NewInjector(cfg.Fault, fault.StreamMetadata); inj != nil {
 		s.table.EnableFaults(inj, s.rebuildEntry)
+		s.metaFaults = true
 	}
 	return s
 }
@@ -296,12 +306,12 @@ func (s *Scheme) lookup(lrn0 uint64) (cmt.Entry, bool) {
 	s.stats.CMTMisses++
 	ent := s.table.Read(lrn0)
 	span := uint64(1) << ent.Level
-	q := s.p << ent.Level
+	qShift := s.pShift + uint(ent.Level)
 	e := cmt.Entry{
 		Base:  lrn0 &^ (span - 1),
 		Level: ent.Level,
-		Prn:   ent.D / q,
-		Key:   ent.D % q,
+		Prn:   ent.D >> qShift,
+		Key:   ent.D & (uint64(1)<<qShift - 1),
 	}
 	s.cache.Insert(e)
 	return e, false
@@ -315,7 +325,7 @@ func (s *Scheme) Translate(lma uint64) uint64 {
 // Access implements wl.Leveler: the 7-step workflow of Fig 11 plus the
 // write-triggered data exchange and the adaptation hooks.
 func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
-	lrn0 := lma / s.p
+	lrn0 := lma >> s.pShift
 	e, hit := s.lookup(lrn0)
 	q := s.p << e.Level
 	pma := e.Prn*q + ((lma & (q - 1)) ^ e.Key)

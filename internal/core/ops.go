@@ -22,9 +22,9 @@ import (
 // line-level key, and level.
 func (s *Scheme) regionOf(idx uint64) (base, span, physSlot, key uint64, level uint8) {
 	base, span, e := s.table.Region(idx)
-	q := s.p << e.Level
-	prn := e.D / q
-	key = e.D % q
+	qShift := s.pShift + uint(e.Level) // q = p << Level is a power of two
+	prn := e.D >> qShift
+	key = e.D & (uint64(1)<<qShift - 1)
 	return base, span, prn * span, key, e.Level
 }
 
@@ -32,10 +32,10 @@ func (s *Scheme) regionOf(idx uint64) (base, span, physSlot, key uint64, level u
 // entry is cached, and rebuilds rev for the region's slots.
 func (s *Scheme) setRegion(base, span, physSlot, key uint64, level uint8) {
 	q := s.p << level
-	prn := physSlot / span
+	prn := physSlot >> level // span = 1 << level
 	s.table.SetRange(base, span, prn*q+key, level)
 	s.cache.Update(level, base, prn, key)
-	keyHigh := key / s.p
+	keyHigh := key >> s.pShift
 	for sub := uint64(0); sub < span; sub++ {
 		s.rev[physSlot+(sub^keyHigh)] = uint32(base + sub)
 	}
@@ -110,8 +110,10 @@ func (s *Scheme) shrinkOccupants(blockSlot, span uint64) {
 // `to`. Their data has already been moved offset-preserving.
 func (s *Scheme) relocateOccupants(from, to, span uint64) {
 	// Snapshot rev of the source block first: setRegion rewrites rev as it
-	// goes and `to` may be scanned later in the same pass.
-	occ := make([]uint32, span)
+	// goes and `to` may be scanned later in the same pass. The snapshot
+	// lives in a reusable buffer — exchanges are frequent enough that a
+	// per-call allocation shows up in profiles.
+	occ := s.revBuf[:span]
 	copy(occ, s.rev[from:from+span])
 	for t := uint64(0); t < span; {
 		obase, ospan, _, okey, olevel := s.regionOf(uint64(occ[t]))

@@ -54,23 +54,46 @@ type Options struct {
 	MaxWrites uint64
 	// Workload label for reporting.
 	Workload string
+	// NoTiming skips the wall-clock measurement around the request loop
+	// (Result.Elapsed stays zero). Benchmarks and the inner runs of a
+	// sharded decomposition — whose Elapsed is discarded by the merge — set
+	// it so short runs do not charge time.Now pairs on the hot path.
+	NoTiming bool
+	// DisableBatch forces the scalar request loop even for schemes that
+	// implement wl.BatchLeveler. The cross-path equivalence tests use it to
+	// pin the batched path to the scalar path's exact results.
+	DisableBatch bool
 }
 
 // Run pumps requests from the stream through the scheme until the device
-// dies or the write budget is exhausted.
+// dies or the write budget is exhausted. Schemes implementing
+// wl.BatchLeveler are driven in batched epochs by default — observably
+// identical to the scalar loop (see wl.BatchLeveler's contract), just
+// faster.
 func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Result {
 	maxWrites := opts.MaxWrites
 	if maxWrites == 0 {
 		maxWrites = 4 * dev.IdealWrites()
 	}
-	start := time.Now()
-	var writes uint64
-	for writes < maxWrites && dev.Alive() {
-		r := stream.Next()
-		lv.Access(r.Op, r.Addr)
-		if r.Op == trace.Write {
-			writes++
+	var start time.Time
+	if !opts.NoTiming {
+		start = time.Now()
+	}
+	if bl, ok := lv.(wl.BatchLeveler); ok && !opts.DisableBatch {
+		runBatched(dev, bl, stream, maxWrites)
+	} else {
+		var writes uint64
+		for writes < maxWrites && dev.Alive() {
+			r := stream.Next()
+			lv.Access(r.Op, r.Addr)
+			if r.Op == trace.Write {
+				writes++
+			}
 		}
+	}
+	var elapsed time.Duration
+	if !opts.NoTiming {
+		elapsed = time.Since(start)
 	}
 	st := lv.Stats()
 	ds := dev.Stats()
@@ -82,7 +105,7 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		WriteOverhead: st.WriteOverhead(),
 		WearGini:      metrics.GiniUint32(dev.WearCounts()),
 		HitRate:       st.HitRate(),
-		Elapsed:       time.Since(start),
+		Elapsed:       elapsed,
 		TimedOut:      dev.Alive(),
 		Reads:         ds.TotalReads,
 		Uncorrectable: ds.Uncorrectable,
@@ -91,4 +114,76 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		res.Normalized = float64(res.Served) / float64(res.Ideal)
 	}
 	return res
+}
+
+// maxEpoch bounds how many requests are prefetched from the stream and
+// handed to a scheme per AccessBatch call. Prefetching ahead of consumption
+// is unobservable: streams are exclusively owned by the run and a Result
+// never depends on the stream's final position.
+const maxEpoch = 4096
+
+// runBatched is the batched twin of the scalar request loop: it refills a
+// request buffer with trace.FillBatch, slices epochs off it at the scheme's
+// preferred size, truncates the final epoch right after the write that
+// exhausts the budget (requests past that write are never applied — exactly
+// where the scalar loop stops), and exits on device death just like the
+// scalar loop's per-request liveness check.
+func runBatched(dev *nvm.Device, bl wl.BatchLeveler, stream trace.Stream, maxWrites uint64) {
+	ops := make([]trace.Op, maxEpoch)
+	addrs := make([]uint64, maxEpoch)
+	var writes uint64
+	buffered, used := 0, 0
+	for writes < maxWrites && dev.Alive() {
+		if used == buffered {
+			buffered = trace.FillBatch(stream, ops, addrs)
+			used = 0
+		}
+		k := bl.Advance(buffered - used)
+		if k < 1 {
+			k = 1
+		}
+		if k > buffered-used {
+			k = buffered - used
+		}
+		o := ops[used : used+k]
+		a := addrs[used : used+k]
+		w := countWrites(o)
+		if writes+w > maxWrites {
+			cut := cutAfterWrites(o, maxWrites-writes)
+			o, a = o[:cut], a[:cut]
+			w = maxWrites - writes
+		}
+		n := bl.AccessBatch(o, a)
+		if n < len(o) {
+			w = countWrites(o[:n]) // device died mid-epoch; recount the prefix
+		}
+		writes += w
+		used += n
+	}
+}
+
+// countWrites returns the number of write requests in ops.
+func countWrites(ops []trace.Op) uint64 {
+	var w uint64
+	for _, op := range ops {
+		if op == trace.Write {
+			w++
+		}
+	}
+	return w
+}
+
+// cutAfterWrites returns the length of the shortest prefix of ops holding
+// `target` writes (len(ops) when there are fewer).
+func cutAfterWrites(ops []trace.Op, target uint64) int {
+	var w uint64
+	for i, op := range ops {
+		if op == trace.Write {
+			w++
+			if w == target {
+				return i + 1
+			}
+		}
+	}
+	return len(ops)
 }

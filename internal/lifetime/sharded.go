@@ -71,7 +71,10 @@ func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
 	if len(shards) == 1 {
 		return Run(shards[0].Dev, shards[0].Lv, shards[0].Stream, opts.Options), nil
 	}
-	start := time.Now()
+	var start time.Time
+	if !opts.NoTiming {
+		start = time.Now()
+	}
 	pool := &exec.Pool{Workers: opts.Parallelism, Context: opts.Context}
 	n := uint64(len(shards))
 	outs, err := exec.Map(pool, len(shards), func(i int, _ uint64) (shardOutcome, error) {
@@ -79,6 +82,10 @@ func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
 		res := Run(sh.Dev, sh.Lv, sh.Stream, Options{
 			MaxWrites: nvm.ShareLines(opts.MaxWrites, uint64(i), n),
 			Workload:  opts.Workload,
+			// The merge discards per-shard Elapsed; never charge the inner
+			// loops for it.
+			NoTiming:     true,
+			DisableBatch: opts.DisableBatch,
 		})
 		return shardOutcome{res: res, st: sh.Lv.Stats(), ds: sh.Dev.Stats()}, nil
 	})
@@ -106,13 +113,17 @@ func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
 		off += ln
 	}
 
+	var elapsed time.Duration
+	if !opts.NoTiming {
+		elapsed = time.Since(start)
+	}
 	res := Result{
 		Scheme:        shards[0].Lv.Name(),
 		Workload:      opts.Workload,
 		WriteOverhead: st.WriteOverhead(),
 		WearGini:      metrics.GiniUint32(wear),
 		HitRate:       st.HitRate(),
-		Elapsed:       time.Since(start),
+		Elapsed:       elapsed,
 		TimedOut:      !ds.Dead,
 		Reads:         ds.TotalReads,
 		Uncorrectable: ds.Uncorrectable,

@@ -52,6 +52,34 @@ func (w *HitWindow) Record(hit bool) {
 	}
 }
 
+// RecordRun adds n identical events at once, leaving the ring in exactly
+// the state n Record(hit) calls would: whole sub-buckets are filled per
+// iteration instead of per event.
+func (w *HitWindow) RecordRun(hit bool, n uint64) {
+	for n > 0 {
+		if w.curCount == w.bucketCap {
+			w.cur++
+			if w.cur == len(w.hits) {
+				w.cur = 0
+				w.filled = true
+			}
+			w.hits[w.cur] = 0
+			w.total[w.cur] = 0
+			w.curCount = 0
+		}
+		take := w.bucketCap - w.curCount
+		if take > n {
+			take = n
+		}
+		w.curCount += take
+		w.total[w.cur] += take
+		if hit {
+			w.hits[w.cur] += take
+		}
+		n -= take
+	}
+}
+
 // Rate returns the hit rate over the window. Before any event it returns 1,
 // so that a freshly reset window never looks like a low-hit-rate emergency.
 func (w *HitWindow) Rate() float64 {

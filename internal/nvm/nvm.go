@@ -282,6 +282,73 @@ func (d *Device) Write(pma uint64) bool {
 	}
 }
 
+// WriteRun applies n consecutive writes to the same physical line and
+// returns how many were served. It is observably identical to calling Write
+// n times and counting the true returns: endurance checks, spare
+// consumption, death and every counter evolve exactly as in the scalar
+// sequence. Served < n means the device died at write served+1.
+//
+// With fault injection enabled the run falls back to per-write calls so the
+// injector's RNG draw order is untouched; the clean path folds whole
+// endurance spans arithmetically, which is what makes batched epochs fast.
+func (d *Device) WriteRun(pma, n uint64) uint64 {
+	if d.inj != nil {
+		for i := uint64(0); i < n; i++ {
+			if !d.Write(pma) {
+				return i
+			}
+		}
+		return n
+	}
+	// Clean path. Write(pma) with no injector is wearOne: replace the line
+	// when its counter has reached its endurance, then count one write. A
+	// line's endurance is constant across spare replacement, so a run of n
+	// writes is whole spans of `room` writes between replacements.
+	e := uint64(d.lineEndurance(pma))
+	var served uint64
+	for served < n {
+		if d.dead {
+			return served
+		}
+		room := e - uint64(d.writes[pma])
+		if room == 0 {
+			d.failedLines++
+			if !d.replaceLine(pma) {
+				return served
+			}
+			room = e
+		}
+		take := room
+		if left := n - served; take > left {
+			take = left
+		}
+		d.writes[pma] += uint32(take)
+		d.totalWrites += take
+		served += take
+	}
+	return served
+}
+
+// ReadRun applies n consecutive reads to the same physical line and returns
+// how many were issued — identical to n Read calls with a liveness check
+// between them (reads cannot kill a clean device, but an injected ECC remap
+// can exhaust the spare pool). Issued < n means the device died during the
+// last issued read; the rest of the run was not performed.
+func (d *Device) ReadRun(pma, n uint64) uint64 {
+	if d.inj == nil {
+		d.totalReads += n
+		return n
+	}
+	for i := uint64(0); i < n; i++ {
+		if d.dead {
+			return i
+		}
+		d.totalReads++
+		d.injectRead(pma)
+	}
+	return n
+}
+
 // Read records a read access (reads do not wear NVM cells). With fault
 // injection enabled the read may observe disturb-induced bit errors, which
 // pass through the ECC model (see Config.ECCBits).

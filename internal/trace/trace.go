@@ -59,6 +59,34 @@ type StreamFunc func() Request
 // Next implements Stream.
 func (f StreamFunc) Next() Request { return f() }
 
+// BatchStream is a Stream that can fill whole request batches at once,
+// avoiding one interface dispatch (and one Request copy) per request on the
+// lifetime hot path. NextBatch fills ops and addrs — two parallel slices of
+// equal length — with the stream's next len(ops) requests and returns the
+// count filled (always len(ops) for the unbounded generator streams).
+//
+// The sequence of requests produced must be exactly the sequence Next would
+// produce: NextBatch is a vectorization, not a different stream.
+type BatchStream interface {
+	Stream
+	NextBatch(ops []Op, addrs []uint64) int
+}
+
+// FillBatch fills ops/addrs (equal lengths) from s, using the stream's
+// vectorized path when it has one and falling back to per-request Next
+// calls otherwise. It returns the number of requests filled.
+func FillBatch(s Stream, ops []Op, addrs []uint64) int {
+	if bs, ok := s.(BatchStream); ok {
+		return bs.NextBatch(ops, addrs)
+	}
+	for i := range ops {
+		r := s.Next()
+		ops[i] = r.Op
+		addrs[i] = r.Addr
+	}
+	return len(ops)
+}
+
 // Limit wraps a Stream as a bounded Reader yielding at most n requests.
 func Limit(s Stream, n uint64) *LimitedReader {
 	return &LimitedReader{s: s, remaining: n}
@@ -278,6 +306,20 @@ func (l *Loop) Next() Request {
 		l.next = 0
 	}
 	return r
+}
+
+// NextBatch implements BatchStream by copying from the cycle.
+func (l *Loop) NextBatch(ops []Op, addrs []uint64) int {
+	for i := range ops {
+		r := l.reqs[l.next]
+		l.next++
+		if l.next == len(l.reqs) {
+			l.next = 0
+		}
+		ops[i] = r.Op
+		addrs[i] = r.Addr
+	}
+	return len(ops)
 }
 
 // Len returns the underlying trace length.

@@ -165,6 +165,62 @@ func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
 	return pma
 }
 
+// AccessBatch implements wl.BatchLeveler. A settled region's mapping only
+// changes when its own counter triggers a migration, so runs of identical
+// writes fold into one nvm.WriteRun bounded by the trigger distance. While
+// the written region is migrating its mapping can shift on any write (each
+// step moves one line pair), so those writes take the scalar path
+// unchanged.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		lrn := lma / s.q
+		if s.migOf[lrn] >= 0 {
+			s.Access(op, lma)
+			i++
+			continue
+		}
+		if d := s.trigger - uint64(s.counter[lrn]); d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		s.counter[lrn] += uint32(applied)
+		if uint64(s.counter[lrn]) >= s.trigger {
+			// The region is settled (checked above), so the round starts
+			// unless begin defers on a migrating partner — same as scalar.
+			s.counter[lrn] = 0
+			s.begin(lrn)
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the migration step
+// interval ψ/2 (the finest-grained state change).
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.advance, k) }
+
 // begin starts a migration for region r with a random partner. If the
 // chosen partner is already migrating the trigger is deferred by one write.
 func (s *Scheme) begin(r uint64) {

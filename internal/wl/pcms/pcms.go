@@ -113,6 +113,54 @@ func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
 	return pma
 }
 
+// AccessBatch implements wl.BatchLeveler. A region's mapping only changes
+// at an exchange, and mid-run no other region's exchange can fire (only
+// writes to a region advance its counter), so a run of identical writes
+// folds into one nvm.WriteRun bounded by the region's distance to its next
+// exchange trigger.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		lrn := lma / s.q
+		if d := s.trigger - uint64(s.counter[lrn]); d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		s.counter[lrn] += uint32(applied)
+		if uint64(s.counter[lrn]) >= s.trigger {
+			s.counter[lrn] = 0
+			s.exchange(lrn)
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the per-region
+// exchange interval ψ*Q.
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.trigger, k) }
+
 // exchange swaps region r with a uniformly random region and re-keys both.
 func (s *Scheme) exchange(r uint64) {
 	s.stats.Remaps++

@@ -1,0 +1,18 @@
+package secref
+
+import (
+	"testing"
+
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/wltest"
+)
+
+func BenchmarkAccess(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		dev := wltest.BenchDevice(1 << 14)
+		return New(dev, Config{
+			Lines: 1 << 14, Regions: 64,
+			InnerPeriod: 8, OuterPeriod: 64, Seed: 1,
+		})
+	})
+}

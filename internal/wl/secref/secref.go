@@ -158,6 +158,67 @@ func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
 	return pma
 }
 
+// AccessBatch implements wl.BatchLeveler. A line's mapping only changes at
+// an inner or outer refresh step, so a run of identical writes folds into
+// one nvm.WriteRun bounded by the distance to the next step of either
+// level; the step order at a shared boundary (inner, then outer) matches
+// the scalar path.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		ms := lma / s.k
+		in := &s.inner[ms]
+		if d := s.cfg.InnerPeriod - in.writes; d < c {
+			c = d
+		}
+		if s.cfg.Regions > 1 {
+			if d := s.outerTrigger - s.outerCounter; d < c {
+				c = d
+			}
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		in.writes += applied
+		if in.writes >= s.cfg.InnerPeriod {
+			in.writes = 0
+			s.innerStep(ms)
+		}
+		if s.cfg.Regions > 1 {
+			s.outerCounter += applied
+			if s.outerCounter >= s.outerTrigger {
+				s.outerCounter = 0
+				s.outerStep()
+			}
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the inner refresh
+// period (the finer of the two trigger intervals).
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.cfg.InnerPeriod, k) }
+
 // innerStep performs one refresh step of region ms's inner instance,
 // swapping one physical line pair inside the physical subregion currently
 // holding ms.

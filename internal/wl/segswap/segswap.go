@@ -92,6 +92,52 @@ func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
 	return pma
 }
 
+// AccessBatch implements wl.BatchLeveler. The segment table only changes at
+// a swap, so a run of identical writes folds into one nvm.WriteRun bounded
+// by the physical segment's distance to its next swap trigger.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		pma := s.Translate(lma)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(pma, c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		pseg := pma / s.cfg.SegmentLines
+		if d := s.cfg.Period - s.sinceSwap[pseg]; d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(pma, c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		s.wearCount[pseg] += applied
+		s.sinceSwap[pseg] += applied
+		if s.sinceSwap[pseg] >= s.cfg.Period {
+			s.swap(pseg)
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the swapping period.
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.cfg.Period, k) }
+
 // swap exchanges the data of hot physical segment with the least-worn
 // physical segment (linear scan; the table-based scheme pays this cost in
 // hardware too, via sorted structures we do not need to model).

@@ -1,0 +1,16 @@
+package startgap
+
+import (
+	"testing"
+
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/wltest"
+)
+
+func BenchmarkAccess(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		cfg := Config{Lines: 1 << 14, Regions: 16, Period: 8}
+		dev := wltest.BenchDevice(cfg.Lines + cfg.ExtraLines())
+		return New(dev, cfg)
+	})
+}

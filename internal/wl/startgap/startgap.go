@@ -106,6 +106,54 @@ func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
 	return pma
 }
 
+// AccessBatch implements wl.BatchLeveler. A region's mapping only changes
+// at a gap movement, so a run of identical writes folds into one
+// nvm.WriteRun bounded by the region's distance to its next movement; the
+// translation is computed once per chunk instead of once per request.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		r := lma / s.k
+		reg := &s.regions[r]
+		if d := s.cfg.Period - reg.writes; d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		reg.writes += applied
+		if reg.writes >= s.cfg.Period {
+			reg.writes = 0
+			s.moveGap(r)
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the gap-movement
+// period.
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.cfg.Period, k) }
+
 // moveGap performs one gap movement in region r: one line copies into the
 // gap slot (one device write).
 func (s *Scheme) moveGap(r uint64) {

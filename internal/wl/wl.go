@@ -44,6 +44,54 @@ type Leveler interface {
 	OverheadBits() uint64
 }
 
+// BatchLeveler marks schemes that can serve whole request batches per call
+// — the batched epoch-stepped hot path. The contract is absolute:
+// AccessBatch must be observably identical to calling Access once per
+// request with a device-liveness check between requests, exactly as the
+// scalar lifetime loop does. Batching may change how state is stepped
+// (folding repeated accesses, deferring counter arithmetic to a swap
+// boundary), never the modeled outcome: every counter, RNG draw and death
+// ordering must match the scalar path bit for bit.
+type BatchLeveler interface {
+	Leveler
+
+	// AccessBatch serves ops[i]/addrs[i] in order and returns how many
+	// requests were processed: len(ops) normally, fewer when the device
+	// died mid-batch (the killing access still completes its bookkeeping,
+	// and counts, exactly like the scalar loop).
+	AccessBatch(ops []trace.Op, addrs []uint64) int
+
+	// Advance reports the scheme's preferred epoch length given k buffered
+	// requests: how many requests the driver should hand to the next
+	// AccessBatch call, derived from the scheme's swap interval so an epoch
+	// spans a useful number of scheme steps without the driver outrunning
+	// the request generator. Must return a value in [1, k] for k >= 1.
+	Advance(k int) int
+}
+
+// ClampEpoch derives a batched-epoch length from a scheme's swap interval
+// (in demand writes): enough requests to span several scheme steps, bounded
+// above so the driver never prefetches unreasonably far ahead of the
+// request generator, and never more than the k requests available. It is
+// the shared Advance implementation for interval-triggered schemes.
+func ClampEpoch(interval uint64, k int) int {
+	const lo, hi = 64, 4096
+	e := hi
+	if interval < hi/16 {
+		e = int(interval) * 16
+	}
+	if e < lo {
+		e = lo
+	}
+	if k < e {
+		e = k
+	}
+	if e < 1 {
+		e = 1
+	}
+	return e
+}
+
 // Partitionable marks schemes whose leveling decisions never cross a
 // partition boundary: the scheme is a product of independent sub-schemes
 // over contiguous address ranges, so running one instance per shard over a
@@ -139,6 +187,42 @@ func (l *Identity) Access(op trace.Op, lma uint64) uint64 {
 	}
 	return lma
 }
+
+// AccessBatch implements BatchLeveler: with no mapping to maintain, runs of
+// repeated requests fold directly into the device's run primitives.
+func (l *Identity) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !l.dev.Alive() {
+			return i
+		}
+		op, a := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == a {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Write {
+			served := l.dev.WriteRun(a, c)
+			applied := c
+			if served < c {
+				applied = served + 1 // the killing write's access still counts
+			}
+			l.stats.DataWrites += applied
+			i += int(applied)
+		} else {
+			issued := l.dev.ReadRun(a, c)
+			l.stats.DataReads += issued
+			i += int(issued)
+		}
+	}
+	return n
+}
+
+// Advance implements BatchLeveler. The baseline has no swap interval, so any
+// epoch length works; take everything buffered.
+func (l *Identity) Advance(k int) int { return k }
 
 // Translate implements Leveler.
 func (l *Identity) Translate(lma uint64) uint64 { return lma }

@@ -103,3 +103,69 @@ func Device(lines, extra uint64) *nvm.Device {
 		TrackData:  true,
 	})
 }
+
+// BenchDevice creates a wear-proof device without data tracking for
+// micro-benchmarks (TrackData would charge every access for the shadow
+// array, distorting the request-path cost under measurement).
+func BenchDevice(lines uint64) *nvm.Device {
+	return nvm.New(nvm.Config{Lines: lines, Endurance: 1 << 30})
+}
+
+// benchRunLen matches the BPA workload's default repeat count: the batch
+// path's run detection targets exactly this shape.
+const benchRunLen = 64
+
+// benchRequests precomputes n requests as 64-write runs to random lines.
+func benchRequests(lines uint64, n int) ([]trace.Op, []uint64) {
+	src := rng.New(1)
+	ops := make([]trace.Op, n)
+	addrs := make([]uint64, n)
+	for i := 0; i < n; {
+		lma := src.Uint64n(lines)
+		for j := 0; j < benchRunLen && i < n; j++ {
+			ops[i] = trace.Write
+			addrs[i] = lma
+			i++
+		}
+	}
+	return ops, addrs
+}
+
+// BenchAccess benchmarks a scheme's request path on the BPA request shape
+// (64-write runs to random lines): once through the scalar Access loop and,
+// when the scheme implements wl.BatchLeveler, once through AccessBatch in
+// scheme-preferred epochs. mk must return a fresh scheme on a wear-proof
+// device (BenchDevice), so the run never dies.
+func BenchAccess(b *testing.B, mk func() wl.Leveler) {
+	b.Run("scalar", func(b *testing.B) {
+		lv := mk()
+		ops, addrs := benchRequests(lv.Lines(), b.N)
+		b.ResetTimer()
+		for i := range ops {
+			lv.Access(ops[i], addrs[i])
+		}
+	})
+	b.Run("batch", func(b *testing.B) {
+		lv := mk()
+		bl, ok := lv.(wl.BatchLeveler)
+		if !ok {
+			b.Skipf("%s does not implement wl.BatchLeveler", lv.Name())
+		}
+		ops, addrs := benchRequests(lv.Lines(), b.N)
+		b.ResetTimer()
+		for used := 0; used < len(ops); {
+			k := bl.Advance(len(ops) - used)
+			if k < 1 {
+				k = 1
+			}
+			if k > len(ops)-used {
+				k = len(ops) - used
+			}
+			n := bl.AccessBatch(ops[used:used+k], addrs[used:used+k])
+			if n == 0 {
+				b.Fatalf("%s: AccessBatch made no progress (device died?)", lv.Name())
+			}
+			used += n
+		}
+	})
+}

@@ -205,6 +205,18 @@ func (g *Gen) Next() trace.Request {
 	return trace.Request{Op: op, Addr: addr}
 }
 
+// NextBatch implements trace.BatchStream. The generator's per-request state
+// machine (phases, runs, scans) does not vectorize, but the direct method
+// call still skips the per-request interface dispatch of the scalar path.
+func (g *Gen) NextBatch(ops []trace.Op, addrs []uint64) int {
+	for i := range ops {
+		r := g.Next()
+		ops[i] = r.Op
+		addrs[i] = r.Addr
+	}
+	return len(ops)
+}
+
 // SpecProfiles are the 14 SPEC CPU2006 applications the paper evaluates
 // (Sec 4.1), modeled by locality class:
 //

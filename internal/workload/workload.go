@@ -31,6 +31,15 @@ func (a *RAA) Next() trace.Request {
 	return trace.Request{Op: trace.Write, Addr: a.Target}
 }
 
+// NextBatch implements trace.BatchStream.
+func (a *RAA) NextBatch(ops []trace.Op, addrs []uint64) int {
+	for i := range ops {
+		ops[i] = trace.Write
+		addrs[i] = a.Target
+	}
+	return len(ops)
+}
+
 // BPA is the Birthday Paradox Attack (Seznec): it randomly selects logical
 // addresses and writes each one repeatedly and precisely, defeating schemes
 // whose remapping is too slow to disperse the repeated writes.
@@ -64,6 +73,31 @@ func (a *BPA) Next() trace.Request {
 	return trace.Request{Op: trace.Write, Addr: a.cur}
 }
 
+// NextBatch implements trace.BatchStream: whole repeat-runs are emitted with
+// one RNG draw, in exactly the order Next produces them.
+func (a *BPA) NextBatch(ops []trace.Op, addrs []uint64) int {
+	for i := range ops {
+		ops[i] = trace.Write
+	}
+	i := 0
+	for i < len(addrs) {
+		if a.left == 0 {
+			a.cur = a.src.Uint64n(a.lines)
+			a.left = a.repeats
+		}
+		run := int(a.left)
+		if rem := len(addrs) - i; run > rem {
+			run = rem
+		}
+		for j := i; j < i+run; j++ {
+			addrs[j] = a.cur
+		}
+		a.left -= uint64(run)
+		i += run
+	}
+	return len(ops)
+}
+
 // Uniform writes/reads uniformly random addresses; the best case for wear
 // and the worst case for locality.
 type Uniform struct {
@@ -87,6 +121,19 @@ func (u *Uniform) Next() trace.Request {
 		op = trace.Write
 	}
 	return trace.Request{Op: op, Addr: u.src.Uint64n(u.lines)}
+}
+
+// NextBatch implements trace.BatchStream.
+func (u *Uniform) NextBatch(ops []trace.Op, addrs []uint64) int {
+	for i := range ops {
+		op := trace.Read
+		if u.src.Bool(u.writeRatio) {
+			op = trace.Write
+		}
+		ops[i] = op
+		addrs[i] = u.src.Uint64n(u.lines)
+	}
+	return len(ops)
 }
 
 // Sequential streams through the address space in order, wrapping at the
@@ -118,4 +165,21 @@ func (s *Sequential) Next() trace.Request {
 		s.next = 0
 	}
 	return trace.Request{Op: op, Addr: a}
+}
+
+// NextBatch implements trace.BatchStream.
+func (s *Sequential) NextBatch(ops []trace.Op, addrs []uint64) int {
+	for i := range ops {
+		op := trace.Read
+		if s.src.Bool(s.writeRatio) {
+			op = trace.Write
+		}
+		ops[i] = op
+		addrs[i] = s.next
+		s.next++
+		if s.next == s.lines {
+			s.next = 0
+		}
+	}
+	return len(ops)
 }
