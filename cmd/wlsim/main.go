@@ -40,8 +40,33 @@ import (
 	"time"
 
 	"nvmwear"
+	"nvmwear/internal/serve"
 	"nvmwear/internal/store"
 )
+
+// runServe runs the long-lived experiment service until it drains — via
+// SIGINT/SIGTERM or POST /quitquitquit — then exits 0. In-flight sweep
+// jobs checkpoint to the -cache store during the drain (forcibly canceled
+// after -drain-timeout), so a restarted server resumes runs warm.
+func runServe(cfg serve.Config) int {
+	s, err := serve.New(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	if err := s.Start(); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 1
+	}
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		<-ctx.Done()
+		s.Drain("signal")
+	}()
+	s.Wait()
+	return 0
+}
 
 func main() {
 	scaleName := flag.String("scale", "medium", "experiment scale: tiny|small|medium|large")
@@ -61,6 +86,12 @@ func main() {
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
 	cacheClear := flag.Bool("cache-clear", false, "empty the -cache store before running")
 	force := flag.Bool("force", false, "all: re-run experiments even when fully cached")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (partial results flushed, exit 130)")
+	addr := flag.String("addr", "127.0.0.1:8377", "serve: listen address")
+	queueDepth := flag.Int("queue", 16, "serve: bounded run-queue depth (full queue answers 503)")
+	serveWorkers := flag.Int("serve-workers", 2, "serve: concurrent experiment runs")
+	maxRunJobs := flag.Int("max-run-jobs", 0, "serve: reject runs planning more sweep jobs than this (0 = unlimited)")
+	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "serve: in-flight grace period on shutdown before force-cancel")
 	flag.Usage = usage
 	flag.Parse()
 	if *cacheClear && *cacheDir == "" {
@@ -104,6 +135,28 @@ func main() {
 	// stdout stays machine-readable; clear any live progress counter first.
 	sc.Logf = func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "\r\033[K"+format+"\n", args...)
+	}
+	// `wlsim serve` hands the whole registry to a long-lived HTTP service;
+	// it opens (and arbitrates) its own result store, so it dispatches
+	// before the CLI's cache handling below.
+	if flag.Arg(0) == "serve" {
+		os.Exit(runServe(serve.Config{
+			Addr:         *addr,
+			Scale:        *scaleName,
+			Seed:         *seed,
+			Parallelism:  *workers,
+			Shards:       sc.Shards,
+			CacheDir:     *cacheDir,
+			Format:       *format,
+			QueueDepth:   *queueDepth,
+			Workers:      *serveWorkers,
+			MaxRunJobs:   *maxRunJobs,
+			RunTimeout:   *timeout,
+			DrainTimeout: *drainTimeout,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			},
+		}))
 	}
 	sc.SweepScheme = nvmwear.SchemeKind(*sweepScheme)
 	sc.Project = nvmwear.ProjectParams{
@@ -151,6 +204,15 @@ func main() {
 	// before exiting nonzero.
 	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stopSignals()
+	// -timeout bounds the whole run with the same cancellation path as
+	// SIGINT: the sweep stops, completed points flush as a partial table,
+	// and the process exits 130.
+	if *timeout > 0 {
+		var cancelTimeout context.CancelFunc
+		ctx, cancelTimeout = context.WithTimeoutCause(ctx, *timeout,
+			fmt.Errorf("run timed out after %v", *timeout))
+		defer cancelTimeout()
+	}
 	sc.Context = ctx
 
 	d := &nvmwear.Driver{
@@ -290,5 +352,16 @@ experiments (from the package registry; * = part of "all"):
 	}
 	fmt.Fprintf(os.Stderr, `    %-9s describe every registered experiment (jobs, cache freshness)
     %-9s every experiment marked * above (cached ones skip; -force re-runs)
-`, "list", "all")
+    %-9s expose the registry as a long-lived HTTP service on -addr:
+              POST /runs queues experiments (bounded queue; full = 503),
+              GET /runs/{id}/events streams progress (SSE), /healthz //readyz
+              report state, /quitquitquit drains gracefully (in-flight jobs
+              checkpoint to -cache; force-cancel after -drain-timeout)
+`, "list", "all", "serve")
+
+	fmt.Fprintf(os.Stderr, `
+-timeout D cancels a run after duration D through the same path as SIGINT:
+completed points flush as a partial table and the process exits 130 (with
+-cache, a later run resumes from the flushed jobs).
+`)
 }

@@ -1,8 +1,12 @@
 package main
 
 import (
+	"bufio"
 	"bytes"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	osexec "os/exec"
 	"path/filepath"
@@ -68,6 +72,33 @@ func TestSIGINTFlushesPartialTable(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "interrupted") {
 		t.Errorf("no interruption notice on stderr:\n%s", stderr.String())
+	}
+}
+
+// TestTimeoutFlushesPartialTable is -timeout's contract: the deadline
+// cancels the sweep through the same path as SIGINT — completed points
+// flush as a partial table and the process exits 130 — with no signal
+// involved, so it holds on any platform and under any supervisor.
+func TestTimeoutFlushesPartialTable(t *testing.T) {
+	// The per-job delay stretches the 48-job fig3 sweep well past the
+	// 1.5s deadline; -j1 keeps the completed prefix contiguous.
+	env := []string{"WLSIM_JOB_DELAY_MS=300"}
+	stdout, stderr, err := wlsim(t, env, "-scale", "small", "-j", "1", "-q", "-timeout", "1500ms", "fig3")
+	ee, ok := err.(*osexec.ExitError)
+	if !ok {
+		t.Fatalf("expected nonzero exit after -timeout, got err=%v; stdout:\n%s", err, stdout)
+	}
+	if code := ee.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d, want 130; stderr:\n%s", code, stderr)
+	}
+	if !strings.Contains(stdout, "Fig 3") {
+		t.Errorf("partial table missing from stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stderr, "timed out") {
+		t.Errorf("stderr does not report the timeout cause:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, "partial results flushed") {
+		t.Errorf("no partial-flush notice on stderr:\n%s", stderr)
 	}
 }
 
@@ -220,6 +251,108 @@ func TestAllSkipsFullyCachedExperiments(t *testing.T) {
 	}
 	if got, want := tableLines(forced), tableLines(cold); got != want {
 		t.Errorf("-force tables differ from the cold run:\n--- cold ---\n%s\n--- forced ---\n%s", want, got)
+	}
+}
+
+// TestServeRunsExperimentAndDrains is the `wlsim serve` end-to-end smoke:
+// boot the service as a subprocess, run a real experiment over HTTP, pull
+// its artifacts, then drain via /quitquitquit and require exit 0.
+func TestServeRunsExperimentAndDrains(t *testing.T) {
+	dir := t.TempDir()
+	cmd := osexec.Command(os.Args[0], "-scale", "tiny", "-addr", "127.0.0.1:0", "-cache", dir, "serve")
+	cmd.Env = append(os.Environ(), "WLSIM_RUN_MAIN=1")
+	stderrPipe, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The server logs its bound address (the ":0" port) on stderr.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stderrPipe)
+		for sc.Scan() {
+			line := sc.Text()
+			if _, rest, ok := strings.Cut(line, "listening on "); ok {
+				addrCh <- strings.Fields(rest)[0]
+			}
+		}
+	}()
+	var base string
+	select {
+	case addr := <-addrCh:
+		base = "http://" + addr
+	case <-time.After(20 * time.Second):
+		t.Fatal("server never logged its listen address")
+	}
+
+	get := func(path string) (int, string) {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(b)
+	}
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, `"ok"`) {
+		t.Fatalf("healthz: %d %s", code, body)
+	}
+
+	resp, err := http.Post(base+"/runs", "application/json",
+		strings.NewReader(`{"experiment": "fault"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var run struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&run); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 202 {
+		t.Fatalf("POST /runs: %d (%+v)", resp.StatusCode, run)
+	}
+	deadline := time.Now().Add(60 * time.Second)
+	for run.State != "done" {
+		if time.Now().After(deadline) {
+			t.Fatalf("run %s stuck in %q", run.ID, run.State)
+		}
+		if run.State == "failed" || run.State == "canceled" {
+			t.Fatalf("run %s ended %q: %s", run.ID, run.State, run.Error)
+		}
+		time.Sleep(100 * time.Millisecond)
+		code, body := get("/runs/" + run.ID)
+		if code != 200 {
+			t.Fatalf("GET /runs/%s: %d", run.ID, code)
+		}
+		if err := json.Unmarshal([]byte(body), &run); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if code, out := get("/runs/" + run.ID + "/artifacts/output.txt"); code != 200 ||
+		!strings.Contains(out, "fault") {
+		t.Fatalf("output.txt: %d\n%s", code, out)
+	}
+
+	if code, _ := get("/quitquitquit"); code != 200 {
+		t.Fatalf("quitquitquit: %d", code)
+	}
+	waitErr := make(chan error, 1)
+	go func() { waitErr <- cmd.Wait() }()
+	select {
+	case err := <-waitErr:
+		if err != nil {
+			t.Fatalf("serve exited nonzero after drain: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("serve did not exit after /quitquitquit")
 	}
 }
 

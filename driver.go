@@ -19,6 +19,14 @@ import (
 // whole-experiment cache skip in RunAll. It exists so the CLI holds no
 // per-experiment logic at all — `wlsim <name>` is LookupExperiment plus
 // Driver.Run for every name the registry knows.
+//
+// Run/RunAll drive the Driver's own Scale and sinks — the single-run CLI
+// shape. RunAt is the concurrency-safe entry point behind wlsim serve: it
+// takes an explicit Scale and per-run RunSinks, keeps every piece of
+// per-run mutable state (job counters, partial-SVG accumulation) on the
+// invocation, and never writes a Driver field, so one Driver can execute
+// any number of experiments concurrently as long as each call gets its own
+// sinks. (The profiling fields remain single-run CLI conveniences.)
 type Driver struct {
 	Scale  Scale
 	Out    io.Writer // experiment output; nil means os.Stdout
@@ -39,13 +47,43 @@ type Driver struct {
 	CPUProfile string
 	MemProfile string
 
-	// Partial-SVG accumulation for the running experiment: series land here
-	// as they complete and are superseded by the final figures on success.
-	partialSeries map[string][]Series
-	partialFiles  map[string]bool
-
 	cpuFile  *os.File
 	profDone bool
+}
+
+// RunSinks carries one run's output destinations. Every field is optional;
+// the zero value discards everything except the error RunAt returns.
+type RunSinks struct {
+	// Out receives the rendered tables and the completion summary — what
+	// the CLI prints to stdout. Nil discards.
+	Out io.Writer
+	// SVGDir, when non-empty, receives each figure as <fig>.svg plus the
+	// accumulating <fig>.partial.svg while the sweep is running.
+	SVGDir string
+	// Progress observes every completed sweep job.
+	Progress func(name string, done, total int)
+	// SeriesDone observes each completed series before the partial SVG is
+	// updated.
+	SeriesDone func(fig string, s Series)
+	// Rendered observes the run's rendered artifacts — after Render, before
+	// Out/SVGDir emission, and even when the run errs (the tables then hold
+	// the completed prefix of an interrupted sweep). wlsim serve captures
+	// artifacts for HTTP delivery here.
+	Rendered func(tables []Table, svgs []SVG)
+}
+
+// runState is the mutable state of one experiment invocation: job
+// counters, per-job wall times, partial-SVG accumulation. It lives on the
+// RunAt call, not the Driver, so concurrent runs never share it.
+type runState struct {
+	d     *Driver
+	sc    Scale
+	sinks RunSinks
+
+	// Partial-SVG accumulation: series land here as they complete and are
+	// superseded by the final figures on success.
+	partialSeries map[string][]Series
+	partialFiles  map[string]bool
 }
 
 // StartProfiling opens CPUProfile (if set) and starts the CPU profile.
@@ -108,9 +146,22 @@ func (d *Driver) out() io.Writer {
 	return os.Stdout
 }
 
+// logf reports through the Driver's own Scale — the single-run CLI paths
+// (RunAll staleness report, skip notices). Per-run diagnostics go through
+// the Scale each runState carries instead.
 func (d *Driver) logf(format string, args ...any) {
 	if d.Scale.Logf != nil {
 		d.Scale.Logf(format, args...)
+	}
+}
+
+// sinks assembles the Driver-level sinks — the CLI shape Run/RunAll use.
+func (d *Driver) sinks() RunSinks {
+	return RunSinks{
+		Out:        d.out(),
+		SVGDir:     d.SVGDir,
+		Progress:   d.Progress,
+		SeriesDone: d.SeriesDone,
 	}
 }
 
@@ -119,22 +170,50 @@ func (d *Driver) logf(format string, args ...any) {
 // prefix of its tables and figures (partial flush) before the error is
 // returned; the telemetry summary is printed only on success.
 func (d *Driver) Run(name string) error {
+	return d.RunAt(name, d.Scale, d.sinks())
+}
+
+// RunAt executes one registered experiment at an explicit scale with
+// explicit per-run sinks — the concurrency-safe entry point behind wlsim
+// serve. The Driver contributes only read-only presentation config
+// (Format); all mutable run state lives on this call, so concurrent RunAt
+// calls on one Driver are safe provided each gets its own Scale sinks
+// (Logf, Context, Drain) and RunSinks.
+func (d *Driver) RunAt(name string, sc Scale, sinks RunSinks) error {
 	e, ok := LookupExperiment(name)
 	if !ok {
 		return fmt.Errorf("nvmwear: unknown experiment %q", name)
 	}
-	return d.run(e)
+	return d.runAt(e, sc, sinks)
 }
 
 func (d *Driver) run(e *Experiment) error {
-	sc := d.Scale
+	return d.runAt(e, d.Scale, d.sinks())
+}
+
+func (d *Driver) runAt(e *Experiment, sc Scale, sinks RunSinks) error {
+	if sinks.Out == nil {
+		sinks.Out = io.Discard
+	}
+	rs := &runState{d: d, sc: sc, sinks: sinks}
+	return rs.run(e)
+}
+
+func (rs *runState) logf(format string, args ...any) {
+	if rs.sc.Logf != nil {
+		rs.sc.Logf(format, args...)
+	}
+}
+
+func (rs *runState) run(e *Experiment) error {
+	sc := rs.sc
 	start := time.Now()
 	var jobsDone, jobsTotal int
 	var jobTimes []float64
 	sc.Progress = func(done, total int) {
 		jobsDone, jobsTotal = done, total
-		if d.Progress != nil {
-			d.Progress(e.Name, done, total)
+		if rs.sinks.Progress != nil {
+			rs.sinks.Progress(e.Name, done, total)
 		}
 	}
 	// Per-job wall times for the summary percentiles (zero for cache hits,
@@ -145,10 +224,10 @@ func (d *Driver) run(e *Experiment) error {
 		}
 	}
 	sc.SeriesDone = func(fig string, s Series) {
-		if d.SeriesDone != nil {
-			d.SeriesDone(fig, s)
+		if rs.sinks.SeriesDone != nil {
+			rs.sinks.SeriesDone(fig, s)
 		}
-		d.writePartial(fig, s)
+		rs.writePartial(fig, s)
 	}
 	var cacheBefore store.Stats
 	stats, hasStats := sc.Cache.(interface{ Stats() store.Stats })
@@ -160,7 +239,10 @@ func (d *Driver) run(e *Experiment) error {
 	// Render even on error: runners return the completed prefix of their
 	// payload, so an interrupted sweep still flushes partial tables.
 	tables, svgs := e.Render(res)
-	if err := d.emit(tables, svgs); err != nil {
+	if rs.sinks.Rendered != nil {
+		rs.sinks.Rendered(tables, svgs)
+	}
+	if err := rs.emit(tables, svgs); err != nil {
 		return err
 	}
 	if runErr != nil {
@@ -168,19 +250,19 @@ func (d *Driver) run(e *Experiment) error {
 	}
 
 	// The full figures were emitted: the accumulated partials are superseded.
-	d.removePartials()
+	rs.removePartials()
 	elapsed := time.Since(start)
 	if jobsTotal > 0 {
 		cacheLine := ""
 		if hasStats {
 			cacheLine = cacheSummary(stats.Stats(), cacheBefore)
 		}
-		fmt.Fprintf(d.out(), "[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
+		fmt.Fprintf(rs.sinks.Out, "[%s completed in %v at scale %s: %d jobs, %.1f jobs/s%s, -j %d%s]\n\n",
 			e.Name, elapsed.Round(time.Millisecond), sc.Name,
 			jobsDone, float64(jobsDone)/elapsed.Seconds(),
 			jobTimeSummary(jobTimes), effectiveWorkers(sc.Parallelism), cacheLine)
 	} else {
-		fmt.Fprintf(d.out(), "[%s completed in %v at scale %s]\n\n",
+		fmt.Fprintf(rs.sinks.Out, "[%s completed in %v at scale %s]\n\n",
 			e.Name, elapsed.Round(time.Millisecond), sc.Name)
 	}
 	return nil
@@ -190,10 +272,11 @@ func (d *Driver) run(e *Experiment) error {
 // table (series figures print their text-table twin). csv/json emit the
 // series streams via FormatSeries and print only the tables that carry
 // data no series holds (Fig 13's averages, Fig 14's summary, table1,
-// overhead). With SVGDir set, every figure is also written as an SVG file.
-func (d *Driver) emit(tables []Table, svgs []SVG) error {
-	w := d.out()
-	text := d.Format == "" || d.Format == "text"
+// overhead). With the sinks' SVGDir set, every figure is also written as
+// an SVG file.
+func (rs *runState) emit(tables []Table, svgs []SVG) error {
+	w := rs.sinks.Out
+	text := rs.d.Format == "" || rs.d.Format == "text"
 	for _, t := range tables {
 		if !text && t.fromSeries {
 			continue // the series stream below carries this table's data
@@ -204,14 +287,14 @@ func (d *Driver) emit(tables []Table, svgs []SVG) error {
 	}
 	if !text {
 		for _, g := range svgs {
-			if err := FormatSeries(w, d.Format, g.Title, g.XName, g.Series); err != nil {
+			if err := FormatSeries(w, rs.d.Format, g.Title, g.XName, g.Series); err != nil {
 				return err
 			}
 		}
 	}
-	if d.SVGDir != "" {
+	if rs.sinks.SVGDir != "" {
 		for _, g := range svgs {
-			path := filepath.Join(d.SVGDir, g.Name+".svg")
+			path := filepath.Join(rs.sinks.SVGDir, g.Name+".svg")
 			f, err := os.Create(path)
 			if err != nil {
 				return err
@@ -223,7 +306,7 @@ func (d *Driver) emit(tables []Table, svgs []SVG) error {
 			if werr != nil {
 				return werr
 			}
-			d.logf("wrote %s", path)
+			rs.logf("wrote %s", path)
 		}
 	}
 	return nil
@@ -232,31 +315,31 @@ func (d *Driver) emit(tables []Table, svgs []SVG) error {
 // writePartial updates the experiment's accumulating <fig>.partial.svg with
 // one more completed series — pipeline rendering for long sweeps. Best
 // effort: a failed partial render never fails the sweep.
-func (d *Driver) writePartial(fig string, s Series) {
-	if d.SVGDir == "" {
+func (rs *runState) writePartial(fig string, s Series) {
+	if rs.sinks.SVGDir == "" {
 		return
 	}
-	if d.partialSeries == nil {
-		d.partialSeries = map[string][]Series{}
-		d.partialFiles = map[string]bool{}
+	if rs.partialSeries == nil {
+		rs.partialSeries = map[string][]Series{}
+		rs.partialFiles = map[string]bool{}
 	}
-	d.partialSeries[fig] = append(d.partialSeries[fig], s)
-	path := filepath.Join(d.SVGDir, fig+".partial.svg")
+	rs.partialSeries[fig] = append(rs.partialSeries[fig], s)
+	path := filepath.Join(rs.sinks.SVGDir, fig+".partial.svg")
 	f, err := os.Create(path)
 	if err != nil {
 		return
 	}
-	if WriteSeriesSVG(f, fig+" (partial)", "x", "value", false, d.partialSeries[fig]) == nil {
-		d.partialFiles[path] = true
+	if WriteSeriesSVG(f, fig+" (partial)", "x", "value", false, rs.partialSeries[fig]) == nil {
+		rs.partialFiles[path] = true
 	}
 	f.Close()
 }
 
-func (d *Driver) removePartials() {
-	for path := range d.partialFiles {
+func (rs *runState) removePartials() {
+	for path := range rs.partialFiles {
 		os.Remove(path)
 	}
-	d.partialSeries, d.partialFiles = nil, nil
+	rs.partialSeries, rs.partialFiles = nil, nil
 }
 
 // RunAll executes every experiment registered with InAll, in catalogue

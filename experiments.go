@@ -187,6 +187,15 @@ type Scale struct {
 	// partial table. A nil Context never cancels.
 	Context context.Context
 
+	// Drain, when non-nil, is the sweep's graceful-drain signal (soft
+	// cancel): once it is done, no further jobs are dispatched, but jobs
+	// already running complete and persist to Cache before the runner
+	// returns the completed prefix with an error wrapping ErrInterrupted.
+	// wlsim serve wires its shutdown drain here so in-flight work is
+	// checkpointed rather than discarded; Context remains the hard cancel
+	// that abandons it. A nil Drain never drains.
+	Drain context.Context
+
 	// CacheDir, when non-empty, names the on-disk result store that
 	// memoizes completed sweep jobs across process lifetimes (cmd/wlsim's
 	// -cache flag). Call OpenCache to open it into Cache; runners consult
@@ -434,7 +443,7 @@ func (sc Scale) traceLines() uint64 {
 // pool builds the scale's experiment engine: Parallelism workers and
 // per-job seeds derived from Seed.
 func (sc Scale) pool() *exec.Pool {
-	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed, Context: sc.Context}
+	p := &exec.Pool{Workers: sc.Parallelism, BaseSeed: sc.Seed, Context: sc.Context, SoftContext: sc.Drain}
 	if sc.Progress != nil || sc.JobTime != nil {
 		p.OnDone = func(done, total int, elapsed time.Duration) {
 			if sc.Progress != nil {

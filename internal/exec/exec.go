@@ -92,6 +92,17 @@ type Pool struct {
 	// recording which jobs completed. A nil Context never cancels.
 	Context context.Context
 
+	// SoftContext, when non-nil, is the sweep's graceful-drain signal: once
+	// it is done, no further jobs are dispatched, but in-flight attempts run
+	// to completion — their results are recorded (and persisted via Store),
+	// so a drained sweep checkpoints every job already burning CPU instead
+	// of discarding it the way Context does. If any job was skipped, Map
+	// returns a *CanceledError carrying the soft context's cause. A sweep
+	// whose jobs all complete before the signal is observed returns
+	// normally. wlsim serve wires its shutdown drain here; Context remains
+	// the hard force-cancel behind it.
+	SoftContext context.Context
+
 	// JobTimeout, when > 0, bounds each job attempt's wall time. A timed-out
 	// attempt fails with a *TimeoutError, which is retryable.
 	JobTimeout time.Duration
@@ -148,6 +159,11 @@ func (p *Pool) context() context.Context {
 		return p.Context
 	}
 	return context.Background()
+}
+
+// softDone reports whether the graceful-drain signal has fired.
+func (p *Pool) softDone() bool {
+	return p.SoftContext != nil && p.SoftContext.Err() != nil
 }
 
 // sleep waits d, honoring the Sleep test hook and the context.
@@ -444,7 +460,7 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 			defer wg.Done()
 			for {
 				pos := int(next.Add(1))
-				if pos >= len(pending) || stop.Load() || ctx.Err() != nil {
+				if pos >= len(pending) || stop.Load() || ctx.Err() != nil || p.softDone() {
 					return
 				}
 				i := pending[pos]
@@ -471,6 +487,11 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 	}
 	if ctx.Err() != nil {
 		return results, &CanceledError{Done: doneFlags, Err: context.Cause(ctx)}
+	}
+	// A drain that fired only after every job completed is not an
+	// interruption: the sweep's results are whole.
+	if p.softDone() && done < n {
+		return results, &CanceledError{Done: doneFlags, Err: context.Cause(p.SoftContext)}
 	}
 	return results, nil
 }

@@ -1,0 +1,106 @@
+package serve
+
+import "sync"
+
+// subBuffer is the per-subscriber event buffer. A subscriber whose buffer
+// is full — a client that stopped reading, a stalled TCP window — loses
+// events rather than ever blocking the publisher; the loss is surfaced to
+// that client as a "lagged" event the moment its buffer frees up.
+const subBuffer = 64
+
+// Event is one server-sent event of a run's stream.
+type Event struct {
+	Type string // SSE event name: state, progress, series, lagged
+	Data any    // JSON-encoded payload
+}
+
+// hub broadcasts one run's events to any number of SSE subscribers. The
+// publisher (the run's worker goroutine) never blocks on a subscriber: a
+// full subscriber buffer drops the event and marks the subscriber lagged.
+// Closing the hub (the run reached a terminal state) closes every
+// subscriber channel, ending their streams.
+type hub struct {
+	mu     sync.Mutex
+	subs   map[*subscriber]bool
+	closed bool
+}
+
+// subscriber is one attached event stream. Its channel is owned by the
+// hub: the hub (and only the hub) sends and closes; the HTTP handler
+// receives until the channel closes or its client vanishes.
+type subscriber struct {
+	ch      chan Event
+	dropped int // events lost since the last successful send
+}
+
+func newHub() *hub {
+	return &hub{subs: map[*subscriber]bool{}}
+}
+
+// subscribe attaches a new subscriber. On a closed hub (the run already
+// finished) the returned subscriber's channel is already closed, so the
+// caller's receive loop ends immediately after it has sent its snapshot.
+func (h *hub) subscribe() *subscriber {
+	s := &subscriber{ch: make(chan Event, subBuffer)}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		close(s.ch)
+		return s
+	}
+	h.subs[s] = true
+	return s
+}
+
+// unsubscribe detaches a subscriber (client went away). The channel is not
+// closed — the handler simply stops reading; the hub stops sending.
+func (h *hub) unsubscribe(s *subscriber) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	delete(h.subs, s)
+}
+
+// publish broadcasts an event without ever blocking. A subscriber with no
+// buffer space loses the event; once it drains enough to accept again, it
+// first receives a lagged marker carrying the number of lost events, so a
+// slow client knows its view has holes instead of silently trusting it.
+func (h *hub) publish(e Event) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	for s := range h.subs {
+		if s.dropped > 0 {
+			// Require room for the lagged marker and the event itself, so
+			// the marker always precedes the first post-gap event. The
+			// publisher is the only sender and holds the lock, so the
+			// free-space check cannot be invalidated concurrently.
+			if cap(s.ch)-len(s.ch) < 2 {
+				s.dropped++
+				continue
+			}
+			s.ch <- Event{Type: "lagged", Data: map[string]int{"dropped": s.dropped}}
+			s.dropped = 0
+		}
+		select {
+		case s.ch <- e:
+		default:
+			s.dropped++
+		}
+	}
+}
+
+// close ends every subscriber's stream. Idempotent.
+func (h *hub) close() {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.closed {
+		return
+	}
+	h.closed = true
+	for s := range h.subs {
+		close(s.ch)
+	}
+	h.subs = nil
+}

@@ -1,0 +1,130 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+func drainEvents(s *subscriber) []Event {
+	var out []Event
+	for {
+		select {
+		case e, ok := <-s.ch:
+			if !ok {
+				return out
+			}
+			out = append(out, e)
+		default:
+			return out
+		}
+	}
+}
+
+// TestHubPublishNeverBlocks: publishing far past a subscriber's buffer
+// capacity must complete (the subscriber loses events instead).
+func TestHubPublishNeverBlocks(t *testing.T) {
+	h := newHub()
+	s := h.subscribe()
+	for i := 0; i < subBuffer*10; i++ {
+		h.publish(Event{Type: "progress", Data: i})
+	}
+	got := drainEvents(s)
+	if len(got) != subBuffer {
+		t.Fatalf("subscriber buffered %d events, want %d", len(got), subBuffer)
+	}
+}
+
+// TestHubLaggedMarker: a subscriber that stalls and then resumes receives a
+// "lagged" event counting its losses before the first post-gap event.
+func TestHubLaggedMarker(t *testing.T) {
+	h := newHub()
+	s := h.subscribe()
+	for i := 0; i < subBuffer+5; i++ { // 5 events lost
+		h.publish(Event{Type: "progress", Data: i})
+	}
+	for i := 0; i < subBuffer; i++ { // subscriber wakes up and drains
+		<-s.ch
+	}
+	h.publish(Event{Type: "progress", Data: "after-gap"})
+	first := <-s.ch
+	if first.Type != "lagged" {
+		t.Fatalf("first post-gap event is %q, want lagged", first.Type)
+	}
+	if d := first.Data.(map[string]int)["dropped"]; d != 5 {
+		t.Fatalf("lagged marker reports %d dropped, want 5", d)
+	}
+	if e := <-s.ch; e.Data != "after-gap" {
+		t.Fatalf("event after the marker = %v, want after-gap", e.Data)
+	}
+}
+
+// TestHubLaggedMarkerNeedsTwoSlots: with exactly one free slot the marker
+// is withheld (it must precede the next real event), and the loss count
+// keeps growing.
+func TestHubLaggedMarkerNeedsTwoSlots(t *testing.T) {
+	h := newHub()
+	s := h.subscribe()
+	for i := 0; i < subBuffer+1; i++ { // one event lost
+		h.publish(Event{Type: "progress", Data: i})
+	}
+	<-s.ch // exactly one free slot
+	h.publish(Event{Type: "progress", Data: "x"})
+	if e := <-s.ch; e.Type == "lagged" {
+		t.Fatal("lagged marker sent with only one free slot; the post-gap event would be lost")
+	}
+	if s.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (the original loss plus the withheld publish)", s.dropped)
+	}
+}
+
+// TestHubSubscribeAfterClose: a subscriber attaching to a finished run gets
+// an already-closed channel, so its stream ends right after the snapshot.
+func TestHubSubscribeAfterClose(t *testing.T) {
+	h := newHub()
+	h.close()
+	h.close() // idempotent
+	s := h.subscribe()
+	if _, ok := <-s.ch; ok {
+		t.Fatal("subscriber of a closed hub received an event")
+	}
+	h.publish(Event{Type: "progress", Data: 1}) // must be a no-op, not a panic
+}
+
+// TestHubUnsubscribeStopsDelivery: after unsubscribe the hub drops the
+// subscriber entirely; close does not touch its channel again.
+func TestHubUnsubscribeStopsDelivery(t *testing.T) {
+	h := newHub()
+	s := h.subscribe()
+	h.unsubscribe(s)
+	h.publish(Event{Type: "progress", Data: 1})
+	if got := drainEvents(s); len(got) != 0 {
+		t.Fatalf("unsubscribed subscriber received %d events", len(got))
+	}
+}
+
+// TestHubConcurrentPublishSubscribe hammers the hub from publishers,
+// subscribers and unsubscribers at once — a -race exercise.
+func TestHubConcurrentPublishSubscribe(t *testing.T) {
+	h := newHub()
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				h.publish(Event{Type: "progress", Data: i})
+			}
+		}()
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				s := h.subscribe()
+				drainEvents(s)
+				h.unsubscribe(s)
+			}
+		}()
+	}
+	wg.Wait()
+	h.close()
+}

@@ -1,0 +1,229 @@
+// Package serve exposes the nvmwear experiment registry as a long-lived
+// HTTP service — `wlsim serve`. The robustness posture is the point:
+//
+//   - Admission control: a bounded queue; a full queue or a draining server
+//     answers 503 (with Retry-After) instead of accumulating unbounded work,
+//     and a per-run job cap rejects oversized requests up front.
+//   - Panic containment: an experiment that panics fails its own run (the
+//     panic value and stack land in the run's log artifact); the server and
+//     every other run keep going.
+//   - Graceful shutdown: a drain stops admission, lets in-flight sweep jobs
+//     complete and persist to the result store (Scale.Drain), force-cancels
+//     whatever remains after the drain deadline, then exits cleanly — a
+//     restarted server resumes the interrupted runs warm from the cache.
+//   - Client-loss tolerance: SSE subscribers get bounded buffers; a stalled
+//     or vanished client loses events (and is told so via a "lagged"
+//     marker), never stalls the publisher.
+//   - Cache arbitration: the store's single-writer lockfile is honored —
+//     a second server on the same cache directory degrades to cache-less
+//     operation with a warning instead of corrupting or crashing.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"nvmwear"
+	"nvmwear/internal/store"
+)
+
+// Config sizes and locates a Server. Zero fields take the documented
+// defaults.
+type Config struct {
+	Addr         string        // listen address; "" = 127.0.0.1:8377
+	Scale        string        // default scale preset; "" = tiny
+	Seed         uint64        // default seed; 0 = 42 (the CLI default)
+	Parallelism  int           // sweep workers per run; 0 = all cores
+	Shards       int           // default -shards; 0 = 1 (serial)
+	CacheDir     string        // result store; "" disables caching
+	Format       string        // default artifact format; "" = text
+	QueueDepth   int           // bounded run queue; 0 = 16
+	Workers      int           // concurrent runs; 0 = 2
+	MaxRunJobs   int           // per-run sweep-job admission cap; 0 = unlimited
+	RunTimeout   time.Duration // default per-run deadline; 0 = none
+	DrainTimeout time.Duration // in-flight grace on shutdown; 0 = 10s
+	Logf         func(format string, args ...any)
+}
+
+func (c *Config) fillDefaults() {
+	if c.Addr == "" {
+		c.Addr = "127.0.0.1:8377"
+	}
+	if c.Scale == "" {
+		c.Scale = "tiny"
+	}
+	if c.Seed == 0 {
+		c.Seed = 42
+	}
+	if c.Shards == 0 {
+		c.Shards = 1
+	}
+	if c.Format == "" {
+		c.Format = "text"
+	}
+	if c.QueueDepth == 0 {
+		c.QueueDepth = 16
+	}
+	if c.Workers == 0 {
+		c.Workers = 2
+	}
+	if c.DrainTimeout == 0 {
+		c.DrainTimeout = 10 * time.Second
+	}
+}
+
+// Server is one wlsim serve instance.
+type Server struct {
+	cfg  Config
+	runs *runSet
+
+	// queue is the bounded admission queue. Admission (enqueue) happens
+	// only under mu, so a length check under mu cannot be invalidated
+	// before the send; workers dequeue freely.
+	queue chan *run
+
+	mu       sync.Mutex
+	draining bool
+
+	// softCtx is the drain signal: stops admission and job dispatch, lets
+	// in-flight attempts checkpoint. hardCtx is the abandon-everything
+	// signal the drain deadline escalates to. Every run's context descends
+	// from hardCtx.
+	softCtx    context.Context
+	softCancel context.CancelCauseFunc
+	hardCtx    context.Context
+	hardCancel context.CancelCauseFunc
+
+	stopping  chan struct{} // closed after workers exit; ends SSE streams
+	drained   chan struct{} // closed when shutdown is complete
+	drainOnce sync.Once
+	wg        sync.WaitGroup
+
+	st            *store.Store // nil: cache disabled or degraded
+	degradedCache string       // non-empty: why the cache is unavailable
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New builds a Server. With cfg.CacheDir set and the directory's lockfile
+// held by another live process, the server comes up anyway — degraded to
+// cache-less operation with a logged warning — rather than fighting over
+// the store (single-writer arbitration). Any other store error is fatal.
+func New(cfg Config) (*Server, error) {
+	cfg.fillDefaults()
+	if _, err := nvmwear.ScaleByName(cfg.Scale); err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		runs:     newRunSet(),
+		queue:    make(chan *run, cfg.QueueDepth),
+		stopping: make(chan struct{}),
+		drained:  make(chan struct{}),
+	}
+	s.softCtx, s.softCancel = context.WithCancelCause(context.Background())
+	s.hardCtx, s.hardCancel = context.WithCancelCause(context.Background())
+	if cfg.CacheDir != "" {
+		st, err := store.Open(cfg.CacheDir)
+		var busy *store.BusyError
+		switch {
+		case err == nil:
+			st.Logf = s.logf
+			s.st = st
+		case errors.As(err, &busy):
+			s.degradedCache = err.Error()
+			s.logf("cache degraded: %v (continuing without result cache)", err)
+		default:
+			return nil, err
+		}
+	}
+	s.httpSrv = &http.Server{Handler: s.routes()}
+	return s, nil
+}
+
+// Start binds the listener and launches the HTTP serving loop and the run
+// workers. It returns once the server is accepting requests.
+func (s *Server) Start() error {
+	ln, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		if s.st != nil {
+			s.st.Close()
+		}
+		return err
+	}
+	s.ln = ln
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	go s.httpSrv.Serve(ln)
+	s.logf("wlsim serve listening on %s (scale %s, queue %d, workers %d)",
+		ln.Addr(), s.cfg.Scale, s.cfg.QueueDepth, s.cfg.Workers)
+	return nil
+}
+
+// Addr returns the bound listen address (useful with ":0").
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return s.cfg.Addr
+	}
+	return s.ln.Addr().String()
+}
+
+// Drain initiates graceful shutdown: stop admitting, cancel queued runs,
+// let in-flight sweep jobs complete and persist, force-cancel after the
+// drain deadline, then close the listener and the store. Idempotent; Wait
+// blocks until the sequence finishes.
+func (s *Server) Drain(reason string) {
+	s.drainOnce.Do(func() {
+		s.mu.Lock()
+		s.draining = true
+		s.mu.Unlock()
+		s.logf("draining: %s", reason)
+		s.softCancel(fmt.Errorf("server draining: %s", reason))
+		go s.finishDrain()
+	})
+}
+
+// Wait blocks until a Drain completes.
+func (s *Server) Wait() {
+	<-s.drained
+}
+
+func (s *Server) finishDrain() {
+	workersDone := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(workersDone)
+	}()
+	select {
+	case <-workersDone:
+	case <-time.After(s.cfg.DrainTimeout):
+		// The grace period is up: abandon whatever is still running. Jobs
+		// that completed during the drain are already persisted, so the
+		// next server resumes from them.
+		s.logf("drain deadline %v exceeded; force-canceling in-flight runs", s.cfg.DrainTimeout)
+		s.hardCancel(fmt.Errorf("drain deadline %v exceeded", s.cfg.DrainTimeout))
+		<-workersDone
+	}
+	close(s.stopping) // ends every SSE stream so Shutdown can finish
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	s.httpSrv.Shutdown(ctx)
+	if s.st != nil {
+		s.st.Close() // releases the cache lockfile for the next server
+	}
+	close(s.drained)
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
