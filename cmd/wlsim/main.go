@@ -81,6 +81,7 @@ func main() {
 	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
+	devices := flag.Int("devices", 0, "fleet: simulated devices per scheme (0 = 16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
@@ -159,6 +160,13 @@ func main() {
 		}))
 	}
 	sc.SweepScheme = nvmwear.SchemeKind(*sweepScheme)
+	sc.FleetDevices = *devices
+	// WLSIM_FLEET_POISON=N poisons fleet device job N (1-based): the job
+	// panics mid-run so integration tests can prove quarantine isolation
+	// end to end. Unset or 0 poisons nothing.
+	if n, _ := strconv.Atoi(os.Getenv("WLSIM_FLEET_POISON")); n > 0 {
+		sc.FleetPoison = n
+	}
 	sc.Project = nvmwear.ProjectParams{
 		Normalized:    *normalized,
 		Endurance:     uint64(*endurance),
@@ -340,6 +348,13 @@ cache hits/misses/recomputed.
 -cpuprofile FILE / -memprofile FILE write pprof profiles for `+"`go tool pprof`"+`:
 the CPU profile covers the whole run, the heap profile is a post-GC snapshot
 taken after the last experiment finishes.
+
+The fleet experiment runs a population Monte Carlo: -devices N simulated
+devices per scheme (default 16), each drawing endurance, variation, fault
+rate and workload from its own seed substream. A device job that fails or
+panics is quarantined — reported with its cause in a table — while the rest
+of the population completes; with -cache, every finished device checkpoints
+individually, so a killed fleet sweep resumes warm.
 
 experiments (from the package registry; * = part of "all"):
 `)

@@ -254,6 +254,77 @@ func TestAllSkipsFullyCachedExperiments(t *testing.T) {
 	}
 }
 
+// TestSIGKILLedFleetResumesByteIdentical is the fleet experiment's
+// crash-safety acceptance test: SIGKILL a cached fleet sweep mid-population,
+// re-run, and require the resumed process to reclaim the stale lock, serve
+// the persisted devices as cache hits, and print tables byte-identical to an
+// uncached run.
+func TestSIGKILLedFleetResumesByteIdentical(t *testing.T) {
+	if runtime.GOOS == "windows" {
+		t.Skip("POSIX signal test")
+	}
+	args := []string{"-scale", "tiny", "-j", "1", "-devices", "4", "-q"}
+	reference, _, err := wlsim(t, nil, append(args, "fleet")...)
+	if err != nil {
+		t.Fatalf("uncached reference run: %v", err)
+	}
+
+	dir := t.TempDir()
+	// -j1 plus the per-job delay stretches the 12-device sweep past the kill
+	// point, so some devices are persisted and some are not.
+	cmd := osexec.Command(os.Args[0], append(append([]string{}, args...), "-cache", dir, "fleet")...)
+	cmd.Env = append(os.Environ(), "WLSIM_RUN_MAIN=1", "WLSIM_JOB_DELAY_MS=300")
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(2 * time.Second)
+	if err := cmd.Process.Kill(); err != nil { // SIGKILL: nothing runs, nothing is flushed
+		t.Fatal(err)
+	}
+	cmd.Wait()
+
+	stdout, stderr, err := wlsim(t, nil, append(args, "-cache", dir, "fleet")...)
+	if err != nil {
+		t.Fatalf("resume run failed: %v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stderr, "reclaiming stale lock") {
+		t.Errorf("no stale-lock reclaim notice on stderr:\n%s", stderr)
+	}
+	if got, want := tableLines(stdout), tableLines(reference); got != want {
+		t.Errorf("resumed fleet tables differ from uncached run:\n--- want ---\n%s\n--- got ---\n%s", want, got)
+	}
+	var hits, misses, recomputed int
+	if _, err := fmt.Sscanf(stdout[strings.Index(stdout, "cache: "):],
+		"cache: %d hits, %d misses, %d recomputed", &hits, &misses, &recomputed); err != nil {
+		t.Fatalf("no cache summary in stdout:\n%s", stdout)
+	}
+	if hits < 1 {
+		t.Errorf("resume served %d cache hits, want >= 1 (kill landed before any device persisted?)", hits)
+	}
+	if hits+misses != 12 {
+		t.Errorf("cache summary covers %d devices, want 12", hits+misses)
+	}
+}
+
+// TestFleetPoisonQuarantinesViaCLI drives the quarantine path through the
+// real binary: WLSIM_FLEET_POISON panics one device job mid-sweep, and the
+// process must still exit 0 with the device reported in the quarantine
+// table and population statistics for the rest.
+func TestFleetPoisonQuarantinesViaCLI(t *testing.T) {
+	stdout, stderr, err := wlsim(t, []string{"WLSIM_FLEET_POISON=3"},
+		"-scale", "tiny", "-j", "4", "-devices", "4", "-q", "fleet")
+	if err != nil {
+		t.Fatalf("poisoned fleet run failed: %v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "Quarantined devices") ||
+		!strings.Contains(stdout, "poisoned device") {
+		t.Fatalf("quarantine report missing from stdout:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "4/4") {
+		t.Fatalf("population summary does not account for all planned devices:\n%s", stdout)
+	}
+}
+
 // TestServeRunsExperimentAndDrains is the `wlsim serve` end-to-end smoke:
 // boot the service as a subprocess, run a real experiment over HTTP, pull
 // its artifacts, then drain via /quitquitquit and require exit 0.
@@ -367,5 +438,13 @@ func TestListDescribesRegistry(t *testing.T) {
 		if !strings.Contains(stdout, e.Name) {
 			t.Errorf("list output lacks experiment %q:\n%s", e.Name, stdout)
 		}
+	}
+	// The catalogue carries the sharded column, and the shard analysis
+	// explains per scheme whether -shards decomposes its lifetime runs.
+	if !strings.Contains(stdout, "sharded") {
+		t.Errorf("list output lacks the sharded column:\n%s", stdout)
+	}
+	if !strings.Contains(stdout, "partitionable") || !strings.Contains(stdout, "serial because") {
+		t.Errorf("list output lacks the scheme shard analysis:\n%s", stdout)
 	}
 }

@@ -389,13 +389,16 @@ func (d *Driver) runAll(list []*Experiment) error {
 	return nil
 }
 
-// List writes the registered catalogue as a table: name, paper figure,
-// `all` membership, job count at the driver's scale, cache freshness
-// (with a probing cache open), and description.
+// List writes the registered catalogue as a table — name, paper figure,
+// `all` membership, whether the experiment's lifetime runs shard under
+// -shards, job count at the driver's scale, cache freshness (with a
+// probing cache open), and description — followed by the per-scheme shard
+// analysis, so users can predict which experiments and schemes decompose
+// across banks before launching a large run.
 func (d *Driver) List() error {
 	tab := Table{
 		Title:   "registered experiments",
-		Columns: []string{"name", "figure", "all", "jobs", "cached", "description"},
+		Columns: []string{"name", "figure", "all", "sharded", "jobs", "cached", "description"},
 	}
 	for _, e := range Experiments() {
 		jobs, cached := "-", "-"
@@ -410,13 +413,32 @@ func (d *Driver) List() error {
 				cached = fmt.Sprintf("%d/%d", c, n)
 			}
 		}
-		inAll := ""
+		inAll, sharded := "", ""
 		if e.InAll {
 			inAll = "*"
 		}
-		tab.Rows = append(tab.Rows, []string{e.Name, e.Figure, inAll, jobs, cached, e.Description})
+		if e.Sharded {
+			sharded = "*"
+		}
+		tab.Rows = append(tab.Rows, []string{e.Name, e.Figure, inAll, sharded, jobs, cached, e.Description})
 	}
-	_, err := io.WriteString(d.out(), tab.Render())
+	if _, err := io.WriteString(d.out(), tab.Render()); err != nil {
+		return err
+	}
+
+	schemes := Table{
+		Title:   "scheme shard analysis (-shards)",
+		Columns: []string{"scheme", "partitionable", "serial because"},
+	}
+	for _, kind := range Schemes() {
+		ok, reason := SchemeShardability(kind)
+		part := "yes"
+		if !ok {
+			part = "no"
+		}
+		schemes.Rows = append(schemes.Rows, []string{string(kind), part, reason})
+	}
+	_, err := io.WriteString(d.out(), schemes.Render())
 	return err
 }
 

@@ -246,6 +246,19 @@ type Scale struct {
 	// projection (cmd/wlsim's -normalized/-endurance/-capacity/-bandwidth
 	// flags). Zero fields take the paper-derived defaults.
 	Project ProjectParams
+
+	// FleetDevices sizes the `fleet` experiment's per-scheme device
+	// population (cmd/wlsim's -devices flag). 0 selects the default (16).
+	// The population size is part of the fleet's cache identity, not the
+	// cache key salt: resizing the fleet re-keys its jobs without
+	// disturbing any other experiment's cache.
+	FleetDevices int
+
+	// FleetPoison, when > 0, makes fleet device job FleetPoison-1 panic
+	// mid-draw — the failure-isolation test hook behind WLSIM_FLEET_POISON.
+	// Deliberately excluded from cache identity: a poisoned job never
+	// produces a result, so it can never poison the cache either.
+	FleetPoison int
 }
 
 // ProjectParams sizes the `project` experiment: the full-scale device whose
@@ -526,6 +539,33 @@ func runJobsStream[T any](sc Scale, fig string, sharded bool, cost func(i int) f
 		return out[:done], fmt.Errorf("%w after %d/%d jobs (%v)", ErrInterrupted, done, n, ce.Err)
 	}
 	return out, err
+}
+
+// runJobsIsolated is runJobs with per-job failure isolation
+// (exec.Pool.Quarantine): a job that errors or panics is reported through
+// the quarantine callback and leaves a zero-valued result slot instead of
+// aborting the sweep — the fleet experiment's poisoned-device containment.
+// Because quarantined slots can sit anywhere, results are returned
+// full-length together with a validity mask rather than as a truncated
+// prefix: valid == nil means every non-quarantined slot is live; on
+// cancellation the mask marks the jobs that completed and the error wraps
+// ErrInterrupted (quarantined jobs read as not-done in the mask too — the
+// caller's quarantine records tell the two apart).
+func runJobsIsolated[T any](sc Scale, fig string, sharded bool, n int, quarantine func(i int, err error), fn func(i int, seed uint64) (T, error)) ([]T, []bool, error) {
+	p := sc.cachedPool(fig, sharded, nil)
+	p.Quarantine = quarantine
+	out, err := exec.Map(p, n, fn)
+	var ce *exec.CanceledError
+	if errors.As(err, &ce) {
+		done := 0
+		for _, d := range ce.Done {
+			if d {
+				done++
+			}
+		}
+		return out, ce.Done, fmt.Errorf("%w after %d/%d jobs (%v)", ErrInterrupted, done, n, ce.Err)
+	}
+	return out, nil, err
 }
 
 // seriesStreamer assembles per-job results into labeled curves as jobs

@@ -14,25 +14,40 @@ import (
 // contract as the paper figures.
 
 // faultResult is the fault experiment's payload: both series sets share
-// the fault-rate X axis.
+// the fault-rate X axis; Recovery carries the per-point fault/recovery
+// counters (a completed prefix when the sweep was interrupted).
 type faultResult struct {
-	Life []Series // normalized lifetime, percent
-	Loss []Series // uncorrectable read losses per 1M reads
+	Life     []Series        // normalized lifetime, percent
+	Loss     []Series        // uncorrectable read losses per 1M reads
+	Recovery []FaultRecovery // one row per completed (scheme, rate) job
+}
+
+// FaultRecovery is one sweep point's fault and recovery accounting — the
+// per-run counters internal/nvm and internal/fault maintain, surfaced in
+// the fault table instead of staying internal-only.
+type FaultRecovery struct {
+	Scheme        string
+	Rate          float64
+	Transients    uint64 // transient write faults observed
+	Retries       uint64 // extra programming pulses issued
+	SpareRemaps   uint64 // fault-forced remaps (retry escalations + stuck-at)
+	ECCScrubs     uint64 // lines scrubbed to a spare at the ECC limit
+	MetaRebuilds  uint64 // mapping entries rebuilt after metadata corruption
+	Uncorrectable uint64 // reads lost beyond the ECC budget
 }
 
 func init() {
 	Register(Experiment{
 		Name:        "fault",
-		Description: "fault-injection sweep: lifetime and data loss vs fault rate",
+		Description: "fault-injection sweep: lifetime, data loss and recovery counters vs fault rate",
 		Figure:      "Sec 4.6",
 		Order:       210,
 		Plan: func(sc Scale) []JobSpec {
-			fig := fmt.Sprintf("fault:%v:%v", FaultSchemes, FaultRates)
-			return planJobs(fig, len(FaultSchemes)*len(FaultRates))
+			return planJobs(faultFig(), len(FaultSchemes)*len(FaultRates))
 		},
 		Run: func(sc Scale) (Result, error) {
-			life, loss, err := RunFault(sc)
-			return Result{faultResult{Life: life, Loss: loss}}, err
+			life, loss, rec, err := RunFault(sc)
+			return Result{faultResult{Life: life, Loss: loss, Recovery: rec}}, err
 		},
 		Render: func(r Result) ([]Table, []SVG) {
 			fr, _ := r.Value.(faultResult)
@@ -46,7 +61,23 @@ func init() {
 				Title:  "Fault sweep: uncorrectable losses per 1M reads vs injected fault rate",
 				XName:  "rate", YName: "value", Series: fr.Loss,
 			}
-			return []Table{figTable(gl, "%.2f"), figTable(gd, "%.2f")}, []SVG{gl, gd}
+			rec := Table{
+				Title: "Fault recovery counters",
+				Columns: []string{"scheme", "rate", "transients", "retries",
+					"spare remaps", "ECC scrubs", "meta rebuilds", "uncorrectable"},
+			}
+			for _, p := range fr.Recovery {
+				rec.Rows = append(rec.Rows, []string{
+					p.Scheme, trimFloat(p.Rate),
+					fmt.Sprintf("%d", p.Transients),
+					fmt.Sprintf("%d", p.Retries),
+					fmt.Sprintf("%d", p.SpareRemaps),
+					fmt.Sprintf("%d", p.ECCScrubs),
+					fmt.Sprintf("%d", p.MetaRebuilds),
+					fmt.Sprintf("%d", p.Uncorrectable),
+				})
+			}
+			return []Table{figTable(gl, "%.2f"), figTable(gd, "%.2f"), rec}, []SVG{gl, gd}
 		},
 	})
 }
@@ -62,6 +93,14 @@ var FaultRates = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
 // adds a failure surface the others do not have).
 var FaultSchemes = []SchemeKind{PCMS, NWL, SAWL}
 
+// faultFig is the sweep's cache identity. The "v2" marks the result type
+// growing the recovery counters: the lifetime numbers are unchanged, but
+// v1 cache entries would gob-decode with all counters zero, so they get
+// their own namespace and age out instead.
+func faultFig() string {
+	return fmt.Sprintf("faultv2:%v:%v", FaultSchemes, FaultRates)
+}
+
 // RunFault sweeps fault rate x scheme under a uniform 50%-write workload
 // until device failure. Each job's injected rate drives transient write
 // faults and read disturbs directly, hard stuck-at faults at a tenth of the
@@ -69,18 +108,20 @@ var FaultSchemes = []SchemeKind{PCMS, NWL, SAWL}
 //
 // Two series sets come back on the same X axis (fault rate): `life` is the
 // normalized lifetime in percent, `loss` the uncorrectable read losses per
-// million device reads. An interrupted sweep returns the completed points
+// million device reads. rec carries each completed point's fault/recovery
+// counters in job order. An interrupted sweep returns the completed points
 // plus an error wrapping ErrInterrupted.
-func RunFault(sc Scale) (life, loss []Series, err error) {
+func RunFault(sc Scale) (life, loss []Series, rec []FaultRecovery, err error) {
 	schemes := FaultSchemes
 	rates := FaultRates
 	// Exported fields: results round-trip through the gob result cache.
 	// The scheme and rate lists are sweep parameters outside Scale, so
 	// they are folded into the cache identity.
-	fig := fmt.Sprintf("fault:%v:%v", schemes, rates)
+	fig := faultFig()
 	type point struct {
-		Life    float64
-		LossPPM float64
+		Life     float64
+		LossPPM  float64
+		Recovery FaultRecovery
 	}
 	res, err := runJobs(sc, fig, false, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
 		scheme, rate := schemes[i/len(rates)], rates[i%len(rates)]
@@ -105,7 +146,17 @@ func RunFault(sc Scale) (life, loss []Series, err error) {
 		if err != nil {
 			return point{}, err
 		}
-		p := point{Life: 100 * r.Normalized}
+		st := sys.Stats()
+		p := point{Life: 100 * r.Normalized, Recovery: FaultRecovery{
+			Scheme:        string(scheme),
+			Rate:          rate,
+			Transients:    st.TransientWriteFaults,
+			Retries:       st.WriteRetries,
+			SpareRemaps:   st.RetryEscalations + st.StuckLineFaults,
+			ECCScrubs:     st.ECCRemaps,
+			MetaRebuilds:  st.MetaRebuilds,
+			Uncorrectable: st.Uncorrectable,
+		}}
 		if r.Reads > 0 {
 			p.LossPPM = float64(r.Uncorrectable) / float64(r.Reads) * 1e6
 		}
@@ -121,6 +172,7 @@ func RunFault(sc Scale) (life, loss []Series, err error) {
 		si, ri := i/len(rates), i%len(rates)
 		life[si].Append(rates[ri], p.Life)
 		loss[si].Append(rates[ri], p.LossPPM)
+		rec = append(rec, p.Recovery)
 	}
-	return life, loss, err
+	return life, loss, rec, err
 }

@@ -1,0 +1,339 @@
+package nvmwear
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nvmwear/internal/exec"
+	"nvmwear/internal/fault"
+	"nvmwear/internal/lifetime"
+	"nvmwear/internal/metrics"
+	"nvmwear/internal/plot"
+	"nvmwear/internal/rng"
+)
+
+// This file implements the `fleet` experiment: a Monte Carlo over a
+// population of simulated devices per scheme, where every device draws its
+// own endurance process corner, per-cell variation, fault-rate vector and
+// tenant workload mix from deterministic per-device seed substreams. Where
+// the paper evaluates one device per configuration, a production deployment
+// sees a population — and cares about the tail (p1 time-to-death, survival
+// curves, uncorrectable-loss and spare-exhaustion rates), not the mean.
+//
+// The sweep is built to survive its own scale: a device run that errors or
+// panics is quarantined (reported in the output, sweep continues), every
+// completed device checkpoints through the result cache so a killed sweep
+// resumes warm, cancellation yields a valid partial population with
+// confidence-interval annotations, and schemes that cannot shard simply run
+// their devices serial instead of failing the sweep.
+
+// FleetSchemes are the schemes the fleet sweep populates. The mix is
+// deliberate: RBSG and SAWL decompose across the bank geometry under
+// -shards, PCMS does not (global region exchanges) and exercises the
+// serial-fallback path on every device.
+var FleetSchemes = []SchemeKind{RBSG, PCMS, SAWL}
+
+// fleetDefaultDevices is the per-scheme population when Scale.FleetDevices
+// is unset — small enough for CI, large enough for distinct percentiles.
+const fleetDefaultDevices = 16
+
+// fleetDevices resolves the per-scheme population size.
+func (sc Scale) fleetDevices() int {
+	if sc.FleetDevices > 0 {
+		return sc.FleetDevices
+	}
+	return fleetDefaultDevices
+}
+
+// Per-device seed substreams: every device derives its independent RNG
+// roots from its job seed, so draws, device cells, fault stream and
+// workload never share randomness — and never depend on worker count.
+const (
+	fleetStreamDraw     = 0 // parameter draws (endurance, variation, fault, tenant)
+	fleetStreamDevice   = 1 // device cell endurance + scheme randomization
+	fleetStreamWorkload = 2 // tenant workload stream
+	fleetStreamFault    = 3 // fault-injection stream
+)
+
+// fleetFig is the sweep's cache identity: the scheme list and population
+// size are sweep parameters outside Scale, so they are folded in here —
+// resizing the fleet re-keys only the fleet's own jobs.
+func fleetFig(schemes []SchemeKind, devices int) string {
+	return fmt.Sprintf("fleet:%v:n%d", schemes, devices)
+}
+
+// FleetDevice is one device of the population: its drawn identity plus the
+// outcome of its lifetime run. Exported fields: rows round-trip through the
+// gob result cache. A zero row (empty Cause) is a device whose job never
+// ran — an interrupted sweep's hole.
+type FleetDevice struct {
+	Desc          lifetime.Descriptor
+	LifePct       float64 // normalized lifetime, percent of ideal
+	Served        uint64  // demand writes served
+	SparesUsed    uint64
+	FaultRemaps   uint64 // spare consumptions forced by fault recovery
+	Reads         uint64
+	Uncorrectable uint64
+	Cause         string // lifetime.DeathCause; "quarantined" for isolated failures
+	Error         string // quarantine cause (empty for healthy devices)
+}
+
+// FleetResult is the fleet experiment's payload. Rows is indexed like the
+// job list (scheme-major: scheme s, device d at s*Devices+d) and always
+// full length; holes from an interrupted sweep stay zero.
+type FleetResult struct {
+	Schemes []string
+	Devices int // planned population per scheme
+	Rows    []FleetDevice
+}
+
+func init() {
+	Register(Experiment{
+		Name:        "fleet",
+		Description: "population Monte Carlo: per-device draws, survival and quarantine",
+		Figure:      "-",
+		Order:       215,
+		Sharded:     true,
+		Plan: func(sc Scale) []JobSpec {
+			n := sc.fleetDevices()
+			return planJobs(fleetFig(FleetSchemes, n), len(FleetSchemes)*n)
+		},
+		Run: func(sc Scale) (Result, error) {
+			fr, err := RunFleet(sc)
+			return Result{fr}, err
+		},
+		Render: renderFleet,
+	})
+}
+
+// RunFleet runs the fleet population sweep. Every device is one pool job:
+// it draws its parameters from its seed substreams, builds the system and
+// tenant workload, and runs to device death (or the 4x-ideal write budget)
+// under the sweep's shard policy — schemes that cannot shard run serial per
+// device, logged once, never failing the sweep. Device failures (errors or
+// panics) are quarantined: recorded with their cause on the device's row
+// while the rest of the population completes. An interrupted sweep returns
+// every completed row plus an error wrapping ErrInterrupted.
+func RunFleet(sc Scale) (FleetResult, error) {
+	schemes := FleetSchemes
+	devices := sc.fleetDevices()
+	fig := fleetFig(schemes, devices)
+	n := len(schemes) * devices
+
+	sh := newSharder(sc)
+	quarantined := make(map[int]error, 1) // written under the pool's lock
+	rows, _, err := runJobsIsolated(sc, fig, true, n,
+		func(i int, qerr error) { quarantined[i] = qerr },
+		func(i int, seed uint64) (FleetDevice, error) {
+			desc, cfg, w := fleetDraw(sc, schemes[i/devices], i%devices, seed)
+			if sc.FleetPoison == i+1 {
+				panic(fmt.Sprintf("poisoned device %s (WLSIM_FLEET_POISON test hook)", desc))
+			}
+			res, err := sh.run(cfg, w, 0)
+			if err != nil {
+				return FleetDevice{}, fmt.Errorf("device %s: %w", desc, err)
+			}
+			return FleetDevice{
+				Desc:          desc,
+				LifePct:       100 * res.Normalized,
+				Served:        res.Served,
+				SparesUsed:    res.SparesUsed,
+				FaultRemaps:   res.FaultRemaps,
+				Reads:         res.Reads,
+				Uncorrectable: res.Uncorrectable,
+				Cause:         string(res.Cause),
+			}, nil
+		})
+
+	out := FleetResult{Devices: devices, Rows: rows}
+	for _, s := range schemes {
+		out.Schemes = append(out.Schemes, string(s))
+	}
+	// Quarantined rows: recompute the draw (deterministic from the job
+	// seed) so the report still identifies the device, and record the
+	// cause. Panics are reported by their value alone — the stack is in the
+	// pool's error, but tables must stay byte-deterministic.
+	for i, qerr := range quarantined {
+		desc, _, _ := fleetDraw(sc, schemes[i/devices], i%devices,
+			rng.SeedStream(sc.Seed, uint64(i)))
+		cause := qerr.Error()
+		var pe *exec.PanicError
+		if errors.As(qerr, &pe) {
+			cause = fmt.Sprintf("panic: %v", pe.Value)
+		}
+		out.Rows[i] = FleetDevice{
+			Desc:  desc,
+			Cause: string(lifetime.CauseQuarantined),
+			Error: cause,
+		}
+	}
+	return out, err
+}
+
+// fleetDraw derives device (scheme, d)'s identity from its seed: an
+// endurance process corner (±30% around the scale's attack endurance), a
+// per-cell variation CoV in [0, 0.3), a fault-rate vector (half the fleet
+// fault-free, the rest log-uniform in [1e-6, 1e-3) driving transient,
+// read-disturb and metadata faults, stuck-at at a tenth), and a tenant mix
+// (3:1 SPEC profile vs uniform with a drawn write ratio). Everything comes
+// off the draw substream in a fixed order, so a device's identity depends
+// only on (Scale.Seed, job index).
+func fleetDraw(sc Scale, scheme SchemeKind, device int, seed uint64) (lifetime.Descriptor, SystemConfig, WorkloadSpec) {
+	src := rng.New(rng.SeedStream(seed, fleetStreamDraw))
+	endurance := uint32(float64(sc.AttackEndurance) * (0.7 + 0.6*src.Float64()))
+	if endurance < 100 {
+		endurance = 100
+	}
+	variation := 0.3 * src.Float64()
+	rate := 0.0
+	if src.Bool(0.5) {
+		rate = math.Pow(10, -6+3*src.Float64())
+	}
+	w := WorkloadSpec{Seed: rng.SeedStream(seed, fleetStreamWorkload)}
+	if names := SpecBenchmarks(); src.Bool(0.75) {
+		w.Kind = WorkloadSPEC
+		w.Name = names[src.Intn(len(names))]
+	} else {
+		w.Kind = WorkloadUniform
+		w.WriteRatio = 0.3 + 0.4*src.Float64()
+	}
+	wname := w.Name
+	if wname == "" {
+		wname = fmt.Sprintf("uniform/%.2f", w.WriteRatio)
+	}
+
+	cfg := SystemConfig{
+		Scheme: scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
+		Endurance: endurance, Variation: variation, Period: 8,
+		RegionLines: 64, InitGran: 4, CMTEntries: sc.CMTEntries,
+		Regions: maxU64(sc.AttackLines/64, 1),
+		Seed:    rng.SeedStream(seed, fleetStreamDevice),
+	}
+	if rate > 0 {
+		cfg.Fault = fault.Config{
+			TransientWriteRate: rate,
+			StuckAtRate:        rate / 10,
+			ReadDisturbRate:    rate,
+			MetadataRate:       rate,
+			Seed:               rng.SeedStream(seed, fleetStreamFault),
+		}
+	}
+	desc := lifetime.Descriptor{
+		Scheme:    string(scheme),
+		Device:    device,
+		Workload:  wname,
+		Endurance: endurance,
+		Variation: variation,
+		FaultRate: rate,
+		Seed:      seed,
+	}
+	return desc, cfg, w
+}
+
+func maxU64(a, b uint64) uint64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// renderFleet builds the fleet's output: a per-scheme population summary
+// (counts by death cause, p1/p50/p99 lifetime, mean with its 95% CI,
+// uncorrectable-loss and spare-exhaustion rates), a quarantine report when
+// any device was isolated, and per-scheme survival step curves. Partial
+// populations (interrupted sweeps) render from whatever rows exist — the
+// ran/planned column and the widened CI carry the uncertainty.
+func renderFleet(r Result) ([]Table, []SVG) {
+	fr, _ := r.Value.(FleetResult)
+	sum := Table{
+		Title: fmt.Sprintf("Fleet population (%d devices/scheme planned)", fr.Devices),
+		Columns: []string{"scheme", "devices", "quar", "wearout", "faults", "alive",
+			"dead%", "p1", "p50", "p99", "mean±95%", "uncorr/Mrd"},
+	}
+	quar := Table{
+		Title:   "Quarantined devices",
+		Columns: []string{"device", "cause"},
+	}
+	var curves, stepped []Series
+
+	for si, scheme := range fr.Schemes {
+		var lives, deaths []float64
+		var reads, lost uint64
+		counts := map[string]int{}
+		for d := 0; d < fr.Devices; d++ {
+			i := si*fr.Devices + d
+			if i >= len(fr.Rows) {
+				break
+			}
+			row := fr.Rows[i]
+			if row.Cause == "" {
+				continue // job never ran (interrupted sweep)
+			}
+			if row.Cause == string(lifetime.CauseQuarantined) {
+				counts["quar"]++
+				quar.Rows = append(quar.Rows, []string{row.Desc.String(), row.Error})
+				continue
+			}
+			counts[row.Cause]++
+			lives = append(lives, row.LifePct)
+			if row.Cause != string(lifetime.CauseAlive) {
+				// Rounded to 0.01%: equal deaths group into one curve
+				// step and the table's X column stays readable.
+				deaths = append(deaths, math.Round(row.LifePct*100)/100)
+			}
+			reads += row.Reads
+			lost += row.Uncorrectable
+		}
+		ran := len(lives) + counts["quar"]
+		qs := metrics.Quantiles(lives, 0.01, 0.5, 0.99)
+		mean, half := metrics.MeanCI95(lives)
+		deadFrac, lossPPM := 0.0, 0.0
+		if len(lives) > 0 {
+			deadFrac = 100 * float64(len(deaths)) / float64(len(lives))
+		}
+		if reads > 0 {
+			lossPPM = float64(lost) / float64(reads) * 1e6
+		}
+		sum.Rows = append(sum.Rows, []string{
+			scheme,
+			fmt.Sprintf("%d/%d", ran, fr.Devices),
+			fmt.Sprintf("%d", counts["quar"]),
+			fmt.Sprintf("%d", counts[string(lifetime.CauseWearout)]),
+			fmt.Sprintf("%d", counts[string(lifetime.CauseFaults)]),
+			fmt.Sprintf("%d", counts[string(lifetime.CauseAlive)]),
+			fmt.Sprintf("%.1f", deadFrac),
+			fmt.Sprintf("%.1f", qs[0]),
+			fmt.Sprintf("%.1f", qs[1]),
+			fmt.Sprintf("%.1f", qs[2]),
+			fmt.Sprintf("%.1f ± %.1f", mean, half),
+			fmt.Sprintf("%.2f", lossPPM),
+		})
+
+		// Survival curve over the whole observed population: alive devices
+		// are censored survivors, so the curve floors at their fraction
+		// instead of dropping to zero. The SVG gets the step-expanded form
+		// (horizontal runs, vertical drops); the table the raw points.
+		if x, y := metrics.Survival(deaths, len(lives)); x != nil {
+			curves = append(curves, Series{Label: scheme, X: x, Y: y})
+			sx, sy := plot.Steps(x, y, 1)
+			stepped = append(stepped, Series{Label: scheme, X: sx, Y: sy})
+		}
+	}
+
+	title := "Fleet survival: fraction of population alive vs normalized lifetime (%)"
+	g := SVG{Name: "fleet-survival", Title: title,
+		XName: "lifetime %", YName: "surviving fraction", Series: stepped,
+	}
+	tables := []Table{sum}
+	if len(quar.Rows) > 0 {
+		tables = append(tables, quar)
+	}
+	if len(curves) > 0 {
+		raw := SVG{Name: g.Name, Title: title, XName: g.XName, YName: g.YName, Series: curves}
+		tables = append(tables, figTable(raw, "%.3f"))
+		return tables, []SVG{g}
+	}
+	return tables, nil
+}
+

@@ -49,7 +49,7 @@ func TestZeroFaultGoldenTables(t *testing.T) {
 // the per-job seeded substreams, never from shared state).
 func TestFaultSweepDeterministic(t *testing.T) {
 	render := func(j int) string {
-		life, loss, err := RunFault(withParallelism(tinyScale(), j))
+		life, loss, _, err := RunFault(withParallelism(tinyScale(), j))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -68,7 +68,7 @@ func TestFaultSweepDeterministic(t *testing.T) {
 // injected fault rate must cost every scheme most of its lifetime and
 // produce uncorrectable losses, while the zero-rate point reports none.
 func TestFaultSweepDegrades(t *testing.T) {
-	life, loss, err := RunFault(tinyScale())
+	life, loss, _, err := RunFault(tinyScale())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -139,6 +139,18 @@ type Pool struct {
 	// stays short. Purely a scheduling hint: results, seeds, and error
 	// determinism are unaffected.
 	Cost func(i int) float64
+
+	// Quarantine, when non-nil, switches the pool from abort-on-first-error
+	// to per-job failure isolation: a job that exhausts its retry budget —
+	// or panics — no longer stops the sweep. The failure is reported to the
+	// callback instead (panics arrive as a *PanicError), the job's slot in
+	// the result slice keeps the zero value, and the remaining jobs run
+	// normally. OnDone still fires for a quarantined job so progress reaches
+	// the sweep total, but OnJob does not, nothing is written to Store, and
+	// the job reads as not-done in any later *CanceledError. Cancellation is
+	// not a job failure: Context/SoftContext still end the sweep with a
+	// *CanceledError. Calls are serialized with OnDone/OnJob.
+	Quarantine func(index int, err error)
 }
 
 // workers resolves the effective worker count for n jobs.
@@ -396,12 +408,31 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 		}
 	}
 
+	// quarantine reports a failed job without stopping the sweep: progress
+	// advances (the job is accounted for), but its result slot stays zero,
+	// its done flag stays false, and nothing is cached.
+	quarantine := func(i int, qerr error, elapsed time.Duration) {
+		mu.Lock()
+		done++
+		if p.OnDone != nil {
+			p.OnDone(done, n, elapsed)
+		}
+		p.Quarantine(i, qerr)
+		mu.Unlock()
+	}
+
 	run := func(pos, i int) (err error) {
+		var start time.Time
 		defer func() {
 			if v := recover(); v != nil {
 				pe, ok := v.(*PanicError)
 				if !ok {
 					pe = &PanicError{Index: i, Value: v, Stack: stack()}
+				}
+				if p.Quarantine != nil {
+					quarantine(i, pe, time.Since(start))
+					err = nil
+					return
 				}
 				mu.Lock()
 				if pan == nil || pos < panPos {
@@ -412,7 +443,7 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 			}
 		}()
 		seed := rng.SeedStream(p.BaseSeed, uint64(i))
-		start := time.Now()
+		start = time.Now()
 		for a := 0; ; a++ {
 			var v T
 			v, err = attempt(i, seed)
@@ -443,6 +474,10 @@ func Map[T any](p *Pool, n int, fn func(index int, seed uint64) (T, error)) ([]T
 				return context.Cause(ctx)
 			}
 			if a >= p.Retries || !IsRetryable(err) {
+				if p.Quarantine != nil {
+					quarantine(i, err, time.Since(start))
+					return nil
+				}
 				return err
 			}
 			p.sleep(ctx, p.Backoff<<a)

@@ -37,6 +37,11 @@ type Result struct {
 	// Fault-injection outcomes (zero on fault-free runs).
 	Reads         uint64 // device reads issued over the run
 	Uncorrectable uint64 // reads lost beyond the ECC budget
+
+	// Population accounting for fleet-style sweeps.
+	SparesUsed  uint64     // spare lines consumed over the run
+	FaultRemaps uint64     // spare consumptions forced by faults, not wear
+	Cause       DeathCause // how (whether) the run ended the device
 }
 
 // String implements fmt.Stringer.
@@ -109,6 +114,9 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		TimedOut:      dev.Alive(),
 		Reads:         ds.TotalReads,
 		Uncorrectable: ds.Uncorrectable,
+		SparesUsed:    ds.SparesUsed,
+		FaultRemaps:   FaultRemaps(ds),
+		Cause:         Classify(ds),
 	}
 	if res.Ideal > 0 {
 		res.Normalized = float64(res.Served) / float64(res.Ideal)

@@ -1,0 +1,71 @@
+// Population support for fleet-style Monte Carlo sweeps: a descriptor
+// identifying one drawn device run, and a death-cause taxonomy separating
+// devices worn out by traffic from devices killed by fault-driven spare
+// consumption.
+package lifetime
+
+import (
+	"fmt"
+
+	"nvmwear/internal/nvm"
+)
+
+// DeathCause classifies how a lifetime run ended.
+type DeathCause string
+
+const (
+	// CauseAlive: the run exhausted its write budget with the device still
+	// serving — a censored observation, not a death.
+	CauseAlive DeathCause = "alive"
+	// CauseWearout: the device died with its spares consumed predominantly
+	// by wear (cells reaching endurance under traffic).
+	CauseWearout DeathCause = "wearout"
+	// CauseFaults: the device died with its spares consumed predominantly
+	// by fault recovery (retry escalations, stuck-at remaps, ECC scrubs).
+	CauseFaults DeathCause = "faults"
+	// CauseQuarantined marks a device run that errored or panicked and was
+	// isolated by the sweep instead of aborting it. Run never returns it;
+	// fleet runners assign it when recording quarantined devices.
+	CauseQuarantined DeathCause = "quarantined"
+)
+
+// Classify derives the death cause from a device's final accounting: alive
+// devices are censored; dead devices are attributed to faults when at least
+// half their spare consumption was fault-driven, to wearout otherwise.
+func Classify(ds nvm.Stats) DeathCause {
+	if !ds.Dead {
+		return CauseAlive
+	}
+	if remaps := FaultRemaps(ds); 2*remaps >= ds.SparesUsed && remaps > 0 {
+		return CauseFaults
+	}
+	return CauseWearout
+}
+
+// FaultRemaps counts the spare consumptions forced by fault recovery rather
+// than wear: exhausted retry budgets, hard stuck-at faults, and ECC-limit
+// scrubs each retire a line to a spare.
+func FaultRemaps(ds nvm.Stats) uint64 {
+	return ds.RetryEscalations + ds.StuckLineFaults + ds.ECCRemaps
+}
+
+// Descriptor identifies one device run of a fleet population: which scheme
+// and device slot it occupies plus the per-device draws (endurance process
+// corner, cell variation, fault rate, tenant workload) that parameterize
+// it. It is pure identification — fleets carry it alongside the Result so
+// quarantined devices can still be reported with their drawn parameters.
+type Descriptor struct {
+	Scheme    string
+	Device    int     // population slot within the scheme
+	Workload  string  // tenant mix label
+	Endurance uint32  // drawn mean cell endurance
+	Variation float64 // drawn per-cell endurance variation
+	FaultRate float64 // drawn transient-fault rate (0 = fault-free)
+	Seed      uint64  // the device's root seed substream
+}
+
+// String implements fmt.Stringer.
+func (d Descriptor) String() string {
+	return fmt.Sprintf("%s/dev%03d (%s, endurance %d, var %.2f, fault %.2g)",
+		d.Scheme, d.Device, d.Workload, d.Endurance, d.Variation, d.FaultRate)
+}

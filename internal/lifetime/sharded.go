@@ -127,6 +127,9 @@ func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
 		TimedOut:      !ds.Dead,
 		Reads:         ds.TotalReads,
 		Uncorrectable: ds.Uncorrectable,
+		SparesUsed:    ds.SparesUsed,
+		FaultRemaps:   FaultRemaps(ds),
+		Cause:         Classify(ds),
 	}
 	for _, out := range outs {
 		res.Served += out.res.Served

@@ -1,0 +1,98 @@
+// Population statistics for fleet-scale Monte Carlo sweeps: batched
+// quantiles, empirical survival curves over (possibly censored) death
+// samples, and normal-approximation confidence intervals for partial
+// populations.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// Quantiles returns the q-quantiles of xs (same interpolation as Quantile)
+// with a single sort — the fleet summary asks for p1/p50/p99 per scheme.
+// An empty sample yields all zeros.
+func Quantiles(xs []float64, qs ...float64) []float64 {
+	out := make([]float64, len(qs))
+	if len(xs) == 0 {
+		return out
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, q := range qs {
+		out[i] = quantileSorted(sorted, q)
+	}
+	return out
+}
+
+// quantileSorted is Quantile over an already-sorted non-empty sample.
+func quantileSorted(sorted []float64, q float64) float64 {
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(pos)
+	frac := pos - float64(lo)
+	if lo+1 >= len(sorted) {
+		return sorted[lo]
+	}
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Survival builds the empirical survival curve of a population from its
+// observed death values: y[i] is the fraction of the population still alive
+// after x[i] (x ascending, duplicates collapsed). population is the number
+// at risk; when it exceeds len(deaths), the excess are censored survivors
+// (devices still alive at sweep end), so the curve floors at their fraction
+// instead of reaching zero. The curve is right-continuous and starts at 1
+// before x[0]; see plot.Steps for rendering it as a step function.
+// Population <= 0 or an empty death sample yields nil curves.
+func Survival(deaths []float64, population int) (x, y []float64) {
+	if population <= 0 || len(deaths) == 0 {
+		return nil, nil
+	}
+	sorted := append([]float64(nil), deaths...)
+	sort.Float64s(sorted)
+	alive := population
+	for i := 0; i < len(sorted); {
+		j := i
+		for j < len(sorted) && sorted[j] == sorted[i] {
+			j++
+		}
+		alive -= j - i
+		x = append(x, sorted[i])
+		y = append(y, float64(alive)/float64(population))
+		i = j
+	}
+	return x, y
+}
+
+// MeanCI95 returns the sample mean of xs and the half-width of its 95%
+// confidence interval under the normal approximation (1.96 standard errors,
+// sample standard deviation). Partial fleet populations report mean±half so
+// an interrupted sweep's summary carries its own uncertainty. Samples with
+// fewer than two values have zero half-width.
+func MeanCI95(xs []float64) (mean, half float64) {
+	n := float64(len(xs))
+	if n == 0 {
+		return 0, 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean = sum / n
+	if n < 2 {
+		return mean, 0
+	}
+	var ss float64
+	for _, x := range xs {
+		d := x - mean
+		ss += d * d
+	}
+	sd := math.Sqrt(ss / (n - 1))
+	return mean, 1.96 * sd / math.Sqrt(n)
+}

@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantilesMatchesQuantile(t *testing.T) {
+	xs := []float64{9, 1, 7, 3, 5, 2, 8, 4, 6, 0}
+	qs := []float64{0, 0.01, 0.25, 0.5, 0.99, 1}
+	got := Quantiles(xs, qs...)
+	if len(got) != len(qs) {
+		t.Fatalf("%d results for %d quantiles", len(got), len(qs))
+	}
+	for i, q := range qs {
+		if want := Quantile(xs, q); got[i] != want {
+			t.Errorf("Quantiles[%v] = %v, Quantile = %v", q, got[i], want)
+		}
+	}
+	// The input must not be reordered.
+	if xs[0] != 9 || xs[len(xs)-1] != 0 {
+		t.Fatalf("Quantiles sorted its input: %v", xs)
+	}
+}
+
+func TestQuantilesEmpty(t *testing.T) {
+	got := Quantiles(nil, 0.01, 0.5, 0.99)
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("empty sample quantile[%d] = %v, want 0", i, v)
+		}
+	}
+}
+
+func TestSurvivalCurve(t *testing.T) {
+	// Five deaths at three distinct values in a population of five: the
+	// curve must collapse duplicates and reach zero.
+	x, y := Survival([]float64{3, 1, 3, 2, 1}, 5)
+	wantX := []float64{1, 2, 3}
+	wantY := []float64{3.0 / 5, 2.0 / 5, 0}
+	if len(x) != len(wantX) {
+		t.Fatalf("curve has %d points, want %d: x=%v y=%v", len(x), len(wantX), x, y)
+	}
+	for i := range wantX {
+		if x[i] != wantX[i] || y[i] != wantY[i] {
+			t.Fatalf("point %d = (%v, %v), want (%v, %v)", i, x[i], y[i], wantX[i], wantY[i])
+		}
+	}
+}
+
+func TestSurvivalCensored(t *testing.T) {
+	// Two deaths in a population of four: the two censored survivors floor
+	// the curve at 1/2 instead of letting it reach zero.
+	x, y := Survival([]float64{5, 7}, 4)
+	if len(x) != 2 {
+		t.Fatalf("curve has %d points, want 2", len(x))
+	}
+	if y[0] != 3.0/4 || y[1] != 2.0/4 {
+		t.Fatalf("censored curve y = %v, want [0.75 0.5]", y)
+	}
+}
+
+func TestSurvivalDegenerate(t *testing.T) {
+	if x, y := Survival(nil, 10); x != nil || y != nil {
+		t.Fatalf("no deaths: curve (%v, %v), want nil", x, y)
+	}
+	if x, y := Survival([]float64{1}, 0); x != nil || y != nil {
+		t.Fatalf("zero population: curve (%v, %v), want nil", x, y)
+	}
+}
+
+func TestMeanCI95(t *testing.T) {
+	mean, half := MeanCI95([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if mean != 5 {
+		t.Fatalf("mean = %v, want 5", mean)
+	}
+	// Sample sd of this classic set is sqrt(32/7); half = 1.96*sd/sqrt(8).
+	want := 1.96 * math.Sqrt(32.0/7) / math.Sqrt(8)
+	if math.Abs(half-want) > 1e-12 {
+		t.Fatalf("half = %v, want %v", half, want)
+	}
+}
+
+func TestMeanCI95Degenerate(t *testing.T) {
+	if mean, half := MeanCI95(nil); mean != 0 || half != 0 {
+		t.Fatalf("empty sample: %v ± %v", mean, half)
+	}
+	if mean, half := MeanCI95([]float64{3}); mean != 3 || half != 0 {
+		t.Fatalf("single sample: %v ± %v, want 3 ± 0", mean, half)
+	}
+}

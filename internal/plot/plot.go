@@ -141,6 +141,26 @@ func (c Chart) Render(w io.Writer) error {
 	return err
 }
 
+// Steps converts a right-continuous level curve — x ascending, y[i] the
+// level after x[i], y0 the level before x[0] (1.0 for survival curves) —
+// into the point list a polyline renderer needs to draw it as a step
+// function: every transition emits the pre-drop corner, so the rendered
+// curve is horizontal runs joined by vertical drops instead of diagonals.
+func Steps(x, y []float64, y0 float64) (sx, sy []float64) {
+	if len(x) == 0 {
+		return nil, nil
+	}
+	sx = make([]float64, 0, 2*len(x))
+	sy = make([]float64, 0, 2*len(x))
+	level := y0
+	for i := range x {
+		sx = append(sx, x[i], x[i])
+		sy = append(sy, level, y[i])
+		level = y[i]
+	}
+	return sx, sy
+}
+
 // xVal applies the log transform when configured.
 func xVal(c Chart, x float64) float64 {
 	if c.LogX {

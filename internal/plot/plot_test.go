@@ -123,3 +123,22 @@ func TestXTicksCapped(t *testing.T) {
 		t.Fatalf("%d ticks", len(ticks))
 	}
 }
+
+func TestStepsExpansion(t *testing.T) {
+	// A right-continuous survival curve: at each x the level drops from the
+	// previous value, so every input point becomes a vertical segment.
+	sx, sy := Steps([]float64{1, 2, 4}, []float64{0.6, 0.3, 0}, 1)
+	wantX := []float64{1, 1, 2, 2, 4, 4}
+	wantY := []float64{1, 0.6, 0.6, 0.3, 0.3, 0}
+	if len(sx) != len(wantX) {
+		t.Fatalf("steps has %d points, want %d", len(sx), len(wantX))
+	}
+	for i := range wantX {
+		if sx[i] != wantX[i] || sy[i] != wantY[i] {
+			t.Fatalf("step %d = (%v, %v), want (%v, %v)", i, sx[i], sy[i], wantX[i], wantY[i])
+		}
+	}
+	if sx, sy := Steps(nil, nil, 1); sx != nil || sy != nil {
+		t.Fatalf("empty input: (%v, %v), want nil", sx, sy)
+	}
+}

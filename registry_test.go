@@ -32,7 +32,8 @@ func TestRegistryCatalogue(t *testing.T) {
 		"table1": true, "fig3": true, "fig4": true, "fig5": true,
 		"fig12": true, "fig13": true, "fig14": true, "fig15": true,
 		"fig16": true, "fig17": true, "overhead": true,
-		"fault": false, "attack": false, "sweep": false, "project": false,
+		"fault": false, "fleet": false, "attack": false, "sweep": false,
+		"project": false,
 	}
 	for name, want := range inAll {
 		e, ok := LookupExperiment(name)

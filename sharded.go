@@ -93,6 +93,20 @@ func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
 	return ShardPlan{Shards: requested}
 }
 
+// SchemeShardability reports whether a scheme's lifetime runs can
+// decompose across the bank geometry at all, with PlanShards' reason when
+// they cannot. It probes the scheme on a representative divisible geometry
+// (default-sized device, uniform workload), so a "yes" means the scheme is
+// wl.Partitionable — a concrete run can still fall back serial when its
+// own geometry does not divide. `wlsim list` renders this per scheme.
+func SchemeShardability(kind SchemeKind) (bool, string) {
+	plan := PlanShards(
+		SystemConfig{Scheme: kind, Lines: 1 << 15},
+		WorkloadSpec{Kind: WorkloadUniform, WriteRatio: 0.5},
+		MaxShards)
+	return plan.Shards > 1, plan.Reason
+}
+
 // shardSystemConfig derives shard `bank`'s system configuration from the
 // defaulted whole-device configuration: a 1/banks slice of lines and
 // regions, a ShareLines share of the spare pool, per-shard CMT capacity,
