@@ -36,6 +36,7 @@ import (
 	"os/signal"
 	"runtime"
 	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
@@ -81,7 +82,7 @@ func main() {
 	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
-	devices := flag.Int("devices", 0, "fleet: simulated devices per scheme (0 = 16)")
+	devices := flag.String("devices", "", "fleet: devices per scheme: N, scheme=N overrides, or both (\"32,rbsg=64\"; default 16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
 	cacheDir := flag.String("cache", "", "crash-safe result cache directory (enables checkpoint/resume)")
@@ -91,7 +92,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8377", "serve: listen address")
 	queueDepth := flag.Int("queue", 16, "serve: bounded run-queue depth (full queue answers 503)")
 	serveWorkers := flag.Int("serve-workers", 2, "serve: concurrent experiment runs")
-	maxRunJobs := flag.Int("max-run-jobs", 0, "serve: reject runs planning more sweep jobs than this (0 = unlimited)")
+	maxRunJobs := flag.Int("max-run-jobs", 0, "reject runs planning more sweep jobs than this (0 = unlimited; CLI and serve)")
 	drainTimeout := flag.Duration("drain-timeout", 10*time.Second, "serve: in-flight grace period on shutdown before force-cancel")
 	flag.Usage = usage
 	flag.Parse()
@@ -160,7 +161,13 @@ func main() {
 		}))
 	}
 	sc.SweepScheme = nvmwear.SchemeKind(*sweepScheme)
-	sc.FleetDevices = *devices
+	base, overrides, err := parseDevices(*devices)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.FleetDevices = base
+	sc.FleetDeviceOverrides = overrides
 	// WLSIM_FLEET_POISON=N poisons fleet device job N (1-based): the job
 	// panics mid-run so integration tests can prove quarantine isolation
 	// end to end. Unset or 0 poisons nothing.
@@ -295,15 +302,68 @@ func main() {
 	case "list":
 		fail(d.List())
 	default:
-		if _, ok := nvmwear.LookupExperiment(target); !ok {
+		e, ok := nvmwear.LookupExperiment(target)
+		if !ok {
 			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", target)
 			usage()
 			closeCache()
 			os.Exit(1)
 		}
+		// -max-run-jobs guards the CLI too: an oversized plan (say a fat
+		// -devices override) is rejected before any job runs, with the same
+		// message shape the serve admission check produces.
+		if *maxRunJobs > 0 && e.Plan != nil {
+			if n := len(e.Plan(sc)); n > *maxRunJobs {
+				fmt.Fprintln(os.Stderr, nvmwear.PlanCapError(target, n, sc.Name, *maxRunJobs))
+				closeCache()
+				os.Exit(2)
+			}
+		}
 		fail(d.Run(target))
 	}
 	stopProfiles()
+}
+
+// parseDevices parses the -devices flag: "" (defaults), a bare count "32"
+// (uniform per-scheme population), "scheme=N" overrides, or a mix —
+// "32,rbsg=64,pcms=16" plans 64 rbsg devices, 16 pcms, 32 of everything
+// else. Scheme names must exist in the catalogue.
+func parseDevices(s string) (base int, overrides map[nvmwear.SchemeKind]int, err error) {
+	if s == "" {
+		return 0, nil, nil
+	}
+	known := make(map[nvmwear.SchemeKind]bool)
+	for _, k := range nvmwear.Schemes() {
+		known[k] = true
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, val, isOverride := strings.Cut(part, "=")
+		if !isOverride {
+			n, err := strconv.Atoi(part)
+			if err != nil || n <= 0 {
+				return 0, nil, fmt.Errorf("-devices: bad count %q (want a positive integer or scheme=N)", part)
+			}
+			base = n
+			continue
+		}
+		kind := nvmwear.SchemeKind(strings.TrimSpace(name))
+		if !known[kind] {
+			return 0, nil, fmt.Errorf("-devices: unknown scheme %q (see `wlsim list`)", name)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil || n <= 0 {
+			return 0, nil, fmt.Errorf("-devices: bad count %q for scheme %s (want a positive integer)", val, kind)
+		}
+		if overrides == nil {
+			overrides = make(map[nvmwear.SchemeKind]int)
+		}
+		overrides[kind] = n
+	}
+	return base, overrides, nil
 }
 
 func usage() {
@@ -321,14 +381,18 @@ running sweep, flush the completed points as a partial table, and exit 130.
 
 -shards N decomposes every single lifetime run across N per-bank shards
 (capped at the device's 32-bank geometry; 0 = one shard per core), using
-all cores even when a sweep has few points. Schemes that level within
-independent regions (Baseline, RBSG, NWL, SAWL) shard exactly; globally
-coupled schemes (segment swap, start-gap, TLSR, PCM-S, MWSR) fall back to
-serial with a reason on stderr. A fixed -shards value is deterministic for
-every -j, but sharded tables differ from serial ones (per-bank devices,
-spare pools and RNG substreams — see DESIGN.md par.10); the default is
-therefore 1, and sharded results are cached under separate keys (only for
-the experiments whose lifetime runs the sharder actually touches).
+all cores even when a sweep has few points. Every scheme in the catalogue
+shards: schemes that level within independent regions (Baseline, RBSG,
+NWL, SAWL) decompose exactly, while globally coupled schemes (segment
+swap, start-gap, TLSR, PCM-S, MWSR) run bank-locally — one scheme
+instance per bank, a documented modeling change (DESIGN.md par.15). Only
+geometry misfits and unsplittable workloads (RAA attack halves, file
+traces) fall back to serial with a reason on stderr. A fixed -shards
+value is deterministic for every -j, but sharded tables differ from
+serial ones (per-bank devices, spare pools and RNG substreams — see
+DESIGN.md par.10); the default is therefore 1, and sharded results are
+cached under separate keys (only for the experiments whose lifetime runs
+the sharder actually touches).
 
 As each series of a figure completes, a notice goes to stderr and (with
 -svg) an accumulating <fig>.partial.svg is updated, so long sweeps render
@@ -349,12 +413,17 @@ cache hits/misses/recomputed.
 the CPU profile covers the whole run, the heap profile is a post-GC snapshot
 taken after the last experiment finishes.
 
-The fleet experiment runs a population Monte Carlo: -devices N simulated
-devices per scheme (default 16), each drawing endurance, variation, fault
-rate and workload from its own seed substream. A device job that fails or
-panics is quarantined — reported with its cause in a table — while the rest
-of the population completes; with -cache, every finished device checkpoints
-individually, so a killed fleet sweep resumes warm.
+The fleet experiment runs a population Monte Carlo over the complete
+scheme catalogue: -devices N simulated devices per scheme (default 16),
+each drawing endurance, variation, fault rate and workload from its own
+seed substream; -devices scheme=N resizes individual schemes (mixable:
+"32,rbsg=64,pcms=16"). Known-expensive devices (fault-heavy, then
+high-variation) dispatch first so the sweep's tail is short. A device job
+that fails or panics is quarantined — reported with its cause in a table —
+while the rest of the population completes; with -cache, every finished
+device checkpoints individually, so a killed fleet sweep resumes warm.
+-max-run-jobs M rejects any run (CLI or serve) planning more than M jobs
+before the first job executes.
 
 experiments (from the package registry; * = part of "all"):
 `)

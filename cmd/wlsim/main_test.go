@@ -270,8 +270,9 @@ func TestSIGKILLedFleetResumesByteIdentical(t *testing.T) {
 	}
 
 	dir := t.TempDir()
-	// -j1 plus the per-job delay stretches the 12-device sweep past the kill
-	// point, so some devices are persisted and some are not.
+	// -j1 plus the per-job delay stretches the whole-catalogue sweep (4
+	// devices per scheme) past the kill point, so some devices are persisted
+	// and some are not.
 	cmd := osexec.Command(os.Args[0], append(append([]string{}, args...), "-cache", dir, "fleet")...)
 	cmd.Env = append(os.Environ(), "WLSIM_RUN_MAIN=1", "WLSIM_JOB_DELAY_MS=300")
 	if err := cmd.Start(); err != nil {
@@ -301,8 +302,90 @@ func TestSIGKILLedFleetResumesByteIdentical(t *testing.T) {
 	if hits < 1 {
 		t.Errorf("resume served %d cache hits, want >= 1 (kill landed before any device persisted?)", hits)
 	}
-	if hits+misses != 12 {
-		t.Errorf("cache summary covers %d devices, want 12", hits+misses)
+	if want := 4 * len(nvmwear.Schemes()); hits+misses != want {
+		t.Errorf("cache summary covers %d devices, want %d", hits+misses, want)
+	}
+}
+
+// TestParseDevices covers the -devices grammar: empty (defaults), a bare
+// uniform count, per-scheme overrides, the mixed form, and the rejections
+// (unknown scheme, non-positive or non-numeric counts).
+func TestParseDevices(t *testing.T) {
+	cases := []struct {
+		in        string
+		base      int
+		overrides map[nvmwear.SchemeKind]int
+		wantErr   string
+	}{
+		{in: "", base: 0},
+		{in: "32", base: 32},
+		{in: "rbsg=64", overrides: map[nvmwear.SchemeKind]int{nvmwear.RBSG: 64}},
+		{in: "32,rbsg=64,pcms=16", base: 32,
+			overrides: map[nvmwear.SchemeKind]int{nvmwear.RBSG: 64, nvmwear.PCMS: 16}},
+		{in: " 8 , sawl = 2 ", base: 8, overrides: map[nvmwear.SchemeKind]int{nvmwear.SAWL: 2}},
+		{in: "bogus=4", wantErr: "unknown scheme"},
+		{in: "rbsg=0", wantErr: "bad count"},
+		{in: "rbsg=x", wantErr: "bad count"},
+		{in: "-3", wantErr: "bad count"},
+	}
+	for _, c := range cases {
+		base, overrides, err := parseDevices(c.in)
+		if c.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), c.wantErr) {
+				t.Errorf("parseDevices(%q) err = %v, want %q", c.in, err, c.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseDevices(%q): %v", c.in, err)
+			continue
+		}
+		if base != c.base {
+			t.Errorf("parseDevices(%q) base = %d, want %d", c.in, base, c.base)
+		}
+		if len(overrides) != len(c.overrides) {
+			t.Errorf("parseDevices(%q) overrides = %v, want %v", c.in, overrides, c.overrides)
+			continue
+		}
+		for k, v := range c.overrides {
+			if overrides[k] != v {
+				t.Errorf("parseDevices(%q) overrides[%s] = %d, want %d", c.in, k, overrides[k], v)
+			}
+		}
+	}
+}
+
+// TestDevicesFlagValidatedViaCLI drives the -devices satellite end to end:
+// an unknown scheme override is rejected before anything runs, and a fat
+// override that blows the -max-run-jobs plan cap is rejected with the same
+// message shape the serve admission check produces.
+func TestDevicesFlagValidatedViaCLI(t *testing.T) {
+	_, stderr, err := wlsim(t, nil, "-scale", "tiny", "-devices", "bogus=4", "fleet")
+	if err == nil {
+		t.Fatalf("unknown -devices scheme accepted; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, `unknown scheme "bogus"`) {
+		t.Errorf("no unknown-scheme diagnostic on stderr:\n%s", stderr)
+	}
+
+	_, stderr, err = wlsim(t, nil, "-scale", "tiny", "-devices", "rbsg=64",
+		"-max-run-jobs", "10", "fleet")
+	if err == nil {
+		t.Fatalf("over-cap fleet plan accepted; stderr:\n%s", stderr)
+	}
+	if !strings.Contains(stderr, `experiment "fleet" plans`) ||
+		!strings.Contains(stderr, "over the 10-job cap (-max-run-jobs)") {
+		t.Errorf("plan-cap rejection lacks the shared message shape:\n%s", stderr)
+	}
+
+	// Under the cap, the plan passes validation: a 1-device fleet runs.
+	stdout, stderr, err := wlsim(t, nil, "-scale", "tiny", "-j", "4", "-q",
+		"-devices", "1", "-max-run-jobs", "64", "fleet")
+	if err != nil {
+		t.Fatalf("under-cap fleet run failed: %v\nstderr:\n%s", err, stderr)
+	}
+	if !strings.Contains(stdout, "1 devices/scheme") {
+		t.Errorf("population summary lacks the planned count:\n%s", stdout)
 	}
 }
 
@@ -427,8 +510,12 @@ func TestServeRunsExperimentAndDrains(t *testing.T) {
 	}
 }
 
-// TestListDescribesRegistry smoke-tests the `list` subcommand: every
-// registered experiment appears with its job count at the selected scale.
+// TestListDescribesRegistry pins the `list` subcommand against its golden:
+// every registered experiment with its job count at the selected scale,
+// plus the scheme shard analysis. The golden doubles as the catalogue-wide
+// shardability assertion — every scheme row says "yes" with an empty
+// "serial because" cell, so a scheme regressing to a scheme-level serial
+// fallback shows up as a golden diff.
 func TestListDescribesRegistry(t *testing.T) {
 	stdout, stderr, err := wlsim(t, nil, "-scale", "tiny", "list")
 	if err != nil {
@@ -446,5 +533,13 @@ func TestListDescribesRegistry(t *testing.T) {
 	}
 	if !strings.Contains(stdout, "partitionable") || !strings.Contains(stdout, "serial because") {
 		t.Errorf("list output lacks the scheme shard analysis:\n%s", stdout)
+	}
+	want, err := os.ReadFile("testdata/list_tiny.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stdout != string(want) {
+		t.Errorf("list output deviates from testdata/list_tiny.golden:\n--- got ---\n%s--- want ---\n%s",
+			stdout, want)
 	}
 }

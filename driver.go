@@ -428,15 +428,15 @@ func (d *Driver) List() error {
 
 	schemes := Table{
 		Title:   "scheme shard analysis (-shards)",
-		Columns: []string{"scheme", "partitionable", "serial because"},
+		Columns: []string{"scheme", "partitionable", "model", "serial because"},
 	}
 	for _, kind := range Schemes() {
-		ok, reason := SchemeShardability(kind)
+		ok, model, reason := SchemeShardability(kind)
 		part := "yes"
 		if !ok {
 			part = "no"
 		}
-		schemes.Rows = append(schemes.Rows, []string{string(kind), part, reason})
+		schemes.Rows = append(schemes.Rows, []string{string(kind), part, model, reason})
 	}
 	_, err := io.WriteString(d.out(), schemes.Render())
 	return err

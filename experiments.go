@@ -254,6 +254,13 @@ type Scale struct {
 	// disturbing any other experiment's cache.
 	FleetDevices int
 
+	// FleetDeviceOverrides resizes individual schemes' fleet populations
+	// (cmd/wlsim's `-devices scheme=N,...` form); schemes not listed keep
+	// FleetDevices. Like FleetDevices it is part of the fleet's cache
+	// identity via fleetFig, so a ragged fleet never collides with a
+	// uniform one.
+	FleetDeviceOverrides map[SchemeKind]int
+
 	// FleetPoison, when > 0, makes fleet device job FleetPoison-1 panic
 	// mid-draw — the failure-isolation test hook behind WLSIM_FLEET_POISON.
 	// Deliberately excluded from cache identity: a poisoned job never
@@ -327,11 +334,13 @@ const resultsVersion = "wlsim-results-v1"
 //
 // sharded declares whether the sweep's lifetime runs go through the
 // intra-run sharder — the per-experiment capability flag of the registry
-// (Experiment.Sharded). Only those sweeps salt their keys with the shard
-// layout: the layout changes the simulated geometry (per-bank devices and
-// RNG substreams), so sharded results live under their own keys, while
-// runs the sharder never touches (trace figures, fault, attack) keep the
-// same results — and the same keys — at every -shards value.
+// (Experiment.Sharded), which now covers every lifetime experiment (figure
+// sweeps, sweep, fault, attack, fleet). Only those sweeps salt their keys
+// with the shard layout: the layout changes the simulated geometry
+// (per-bank devices and RNG substreams), so sharded results live under
+// their own keys, while runs the sharder never touches (the fixed-length
+// trace figures, overhead, table1) keep the same results — and the same
+// keys — at every -shards value.
 func (sc Scale) cacheKey(fig string, sharded bool, i int) string {
 	key := fmt.Sprintf(
 		"%s|fig=%s|job=%d|seed=%d|stream=%#x|attack=%d/%d|spec=%d/%d/%d|trace=%d|req=%d|cmt=%d|spare=%d",
@@ -551,8 +560,8 @@ func runJobsStream[T any](sc Scale, fig string, sharded bool, cost func(i int) f
 // cancellation the mask marks the jobs that completed and the error wraps
 // ErrInterrupted (quarantined jobs read as not-done in the mask too — the
 // caller's quarantine records tell the two apart).
-func runJobsIsolated[T any](sc Scale, fig string, sharded bool, n int, quarantine func(i int, err error), fn func(i int, seed uint64) (T, error)) ([]T, []bool, error) {
-	p := sc.cachedPool(fig, sharded, nil)
+func runJobsIsolated[T any](sc Scale, fig string, sharded bool, cost func(i int) float64, n int, quarantine func(i int, err error), fn func(i int, seed uint64) (T, error)) ([]T, []bool, error) {
+	p := sc.cachedPool(fig, sharded, cost)
 	p.Quarantine = quarantine
 	out, err := exec.Map(p, n, fn)
 	var ce *exec.CanceledError

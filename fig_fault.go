@@ -42,6 +42,7 @@ func init() {
 		Description: "fault-injection sweep: lifetime, data loss and recovery counters vs fault rate",
 		Figure:      "Sec 4.6",
 		Order:       210,
+		Sharded:     true,
 		Plan: func(sc Scale) []JobSpec {
 			return planJobs(faultFig(), len(FaultSchemes)*len(FaultRates))
 		},
@@ -123,9 +124,10 @@ func RunFault(sc Scale) (life, loss []Series, rec []FaultRecovery, err error) {
 		LossPPM  float64
 		Recovery FaultRecovery
 	}
-	res, err := runJobs(sc, fig, false, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
+	sh := newSharder(sc)
+	res, err := runJobs(sc, fig, true, len(schemes)*len(rates), func(i int, seed uint64) (point, error) {
 		scheme, rate := schemes[i/len(rates)], rates[i%len(rates)]
-		sys, err := NewSystem(SystemConfig{
+		cfg := SystemConfig{
 			Scheme: scheme, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 			Endurance: sc.AttackEndurance, Period: 8,
 			RegionLines: 64, InitGran: 4, CMTEntries: sc.CMTEntries,
@@ -135,27 +137,28 @@ func RunFault(sc Scale) (life, loss []Series, rec []FaultRecovery, err error) {
 				StuckAtRate:        rate / 10,
 				ReadDisturbRate:    rate,
 				MetadataRate:       rate,
+				// The sharder derives per-bank fault substreams from
+				// Fault.Seed; anchor it to the job seed explicitly (serial
+				// runs default it to Seed, see SystemConfig.Fault).
+				Seed: seed,
 			},
-		})
-		if err != nil {
-			return point{}, err
 		}
-		r, err := sys.RunLifetime(WorkloadSpec{
+		r, err := sh.run(cfg, WorkloadSpec{
 			Kind: WorkloadUniform, WriteRatio: 0.5, Seed: seed,
 		}, 0)
 		if err != nil {
 			return point{}, err
 		}
-		st := sys.Stats()
+		ds, ws := r.DeviceStats, r.SchemeStats
 		p := point{Life: 100 * r.Normalized, Recovery: FaultRecovery{
 			Scheme:        string(scheme),
 			Rate:          rate,
-			Transients:    st.TransientWriteFaults,
-			Retries:       st.WriteRetries,
-			SpareRemaps:   st.RetryEscalations + st.StuckLineFaults,
-			ECCScrubs:     st.ECCRemaps,
-			MetaRebuilds:  st.MetaRebuilds,
-			Uncorrectable: st.Uncorrectable,
+			Transients:    ds.TransientWriteFaults,
+			Retries:       ds.WriteRetries,
+			SpareRemaps:   ds.RetryEscalations + ds.StuckLineFaults,
+			ECCScrubs:     ds.ECCRemaps,
+			MetaRebuilds:  ws.MetaRebuilds,
+			Uncorrectable: ds.Uncorrectable,
 		}}
 		if r.Reads > 0 {
 			p.LossPPM = float64(r.Uncorrectable) / float64(r.Reads) * 1e6

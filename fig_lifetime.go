@@ -488,6 +488,7 @@ func init() {
 		Description: "RAA + BPA resilience verdict per scheme (Sec 2.2)",
 		Figure:      "Sec 2.2",
 		Order:       220,
+		Sharded:     true,
 		Plan: func(sc Scale) []JobSpec {
 			return planJobs(attackFig(AttackKinds), len(AttackKinds))
 		},
@@ -578,23 +579,21 @@ func renderAttack(r Result) ([]Table, []SVG) {
 // trigger-aware BPA at the attack scale, returning the Sec 2.2-style
 // resilience verdict.
 func RunAttackScore(sc Scale, kind SchemeKind) (analysis.AttackScore, error) {
-	return attackScore(sc, kind, sc.Seed)
+	return attackScore(sc, newSharder(sc), kind, sc.Seed)
 }
 
 // attackScore is RunAttackScore with an explicit seed, so parallel sweeps
-// can pass their per-job derived seed.
-func attackScore(sc Scale, kind SchemeKind, seed uint64) (analysis.AttackScore, error) {
+// can pass their per-job derived seed, and a shared sharder so the sweep's
+// -shards policy applies (the RAA half always falls back — a workload-level
+// reason — while the BPA half decomposes).
+func attackScore(sc Scale, sh *sharder, kind SchemeKind, seed uint64) (analysis.AttackScore, error) {
 	run := func(w WorkloadSpec) (float64, error) {
-		sys, err := NewSystem(SystemConfig{
+		res, err := sh.run(SystemConfig{
 			Scheme: kind, Lines: sc.AttackLines, SpareLines: sc.attackSpares(),
 			Endurance: sc.AttackEndurance, Period: 8,
 			RegionLines: 64, Regions: 16, InitGran: 4,
 			CMTEntries: sc.CMTEntries, Seed: seed,
-		})
-		if err != nil {
-			return 0, err
-		}
-		res, err := sys.RunLifetime(w, 0)
+		}, w, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -626,8 +625,9 @@ func attackFig(kinds []SchemeKind) string { return fmt.Sprintf("attack:%v", kind
 // RunAttackScores fans RunAttackScore out over the given schemes on the
 // scale's worker pool, returning one score per scheme in input order.
 func RunAttackScores(sc Scale, kinds []SchemeKind) ([]analysis.AttackScore, error) {
-	return exec.Map(sc.cachedPool(attackFig(kinds), false, nil), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
-		return attackScore(sc, kinds[i], seed)
+	sh := newSharder(sc)
+	return exec.Map(sc.cachedPool(attackFig(kinds), true, nil), len(kinds), func(i int, seed uint64) (analysis.AttackScore, error) {
+		return attackScore(sc, sh, kinds[i], seed)
 	})
 }
 

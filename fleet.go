@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"strings"
 
 	"nvmwear/internal/exec"
 	"nvmwear/internal/fault"
@@ -25,25 +26,51 @@ import (
 // panics is quarantined (reported in the output, sweep continues), every
 // completed device checkpoints through the result cache so a killed sweep
 // resumes warm, cancellation yields a valid partial population with
-// confidence-interval annotations, and schemes that cannot shard simply run
-// their devices serial instead of failing the sweep.
+// confidence-interval annotations, and a device whose geometry defeats the
+// shard planner (workload-level fallbacks like RAA traces) runs serial
+// instead of failing the sweep.
 
-// FleetSchemes are the schemes the fleet sweep populates. The mix is
-// deliberate: RBSG and SAWL decompose across the bank geometry under
-// -shards, PCMS does not (global region exchanges) and exercises the
-// serial-fallback path on every device.
-var FleetSchemes = []SchemeKind{RBSG, PCMS, SAWL}
+// FleetSchemes are the schemes the fleet sweep populates: the complete
+// catalogue. Every scheme is wl.Partitionable (exact or bank-local, see
+// DESIGN.md §15), so under -shards a population run decomposes every
+// device across the bank geometry — no scheme-level serial fallback.
+var FleetSchemes = Schemes()
 
 // fleetDefaultDevices is the per-scheme population when Scale.FleetDevices
 // is unset — small enough for CI, large enough for distinct percentiles.
 const fleetDefaultDevices = 16
 
-// fleetDevices resolves the per-scheme population size.
+// fleetDevices resolves the uniform per-scheme population size.
 func (sc Scale) fleetDevices() int {
 	if sc.FleetDevices > 0 {
 		return sc.FleetDevices
 	}
 	return fleetDefaultDevices
+}
+
+// fleetPopulation resolves the planned device count per scheme: the
+// uniform -devices base, overridden per scheme by Scale.FleetDeviceOverrides
+// (cmd/wlsim's `-devices rbsg=64,pcms=16` syntax).
+func (sc Scale) fleetPopulation(schemes []SchemeKind) []int {
+	out := make([]int, len(schemes))
+	for i, s := range schemes {
+		out[i] = sc.fleetDevices()
+		if n, ok := sc.FleetDeviceOverrides[s]; ok && n > 0 {
+			out[i] = n
+		}
+	}
+	return out
+}
+
+// fleetOffsets returns each scheme block's starting row in the scheme-major
+// job list, plus the total job count.
+func fleetOffsets(counts []int) (offs []int, total int) {
+	offs = make([]int, len(counts))
+	for i, c := range counts {
+		offs[i] = total
+		total += c
+	}
+	return offs, total
 }
 
 // Per-device seed substreams: every device derives its independent RNG
@@ -56,11 +83,26 @@ const (
 	fleetStreamFault    = 3 // fault-injection stream
 )
 
-// fleetFig is the sweep's cache identity: the scheme list and population
-// size are sweep parameters outside Scale, so they are folded in here —
-// resizing the fleet re-keys only the fleet's own jobs.
-func fleetFig(schemes []SchemeKind, devices int) string {
-	return fmt.Sprintf("fleet:%v:n%d", schemes, devices)
+// fleetFig is the sweep's cache identity: the scheme list and per-scheme
+// population sizes are sweep parameters outside Scale, so they are folded
+// in here — resizing or reshaping the fleet re-keys only the fleet's own
+// jobs. A uniform population keeps the historical nN form; per-scheme
+// overrides spell the full count vector.
+func fleetFig(schemes []SchemeKind, counts []int) string {
+	if uniformCounts(counts) {
+		return fmt.Sprintf("fleet:%v:n%d", schemes, counts[0])
+	}
+	return fmt.Sprintf("fleet:%v:n%v", schemes, counts)
+}
+
+// uniformCounts reports whether every scheme plans the same device count.
+func uniformCounts(counts []int) bool {
+	for _, c := range counts {
+		if c != counts[0] {
+			return false
+		}
+	}
+	return len(counts) > 0
 }
 
 // FleetDevice is one device of the population: its drawn identity plus the
@@ -80,11 +122,12 @@ type FleetDevice struct {
 }
 
 // FleetResult is the fleet experiment's payload. Rows is indexed like the
-// job list (scheme-major: scheme s, device d at s*Devices+d) and always
-// full length; holes from an interrupted sweep stay zero.
+// job list (scheme-major with per-scheme counts: scheme s's block starts at
+// the prefix sum of Devices[:s]) and always full length; holes from an
+// interrupted sweep stay zero.
 type FleetResult struct {
 	Schemes []string
-	Devices int // planned population per scheme
+	Devices []int // planned population per scheme (parallel to Schemes)
 	Rows    []FleetDevice
 }
 
@@ -96,8 +139,9 @@ func init() {
 		Order:       215,
 		Sharded:     true,
 		Plan: func(sc Scale) []JobSpec {
-			n := sc.fleetDevices()
-			return planJobs(fleetFig(FleetSchemes, n), len(FleetSchemes)*n)
+			counts := sc.fleetPopulation(FleetSchemes)
+			_, n := fleetOffsets(counts)
+			return planJobs(fleetFig(FleetSchemes, counts), n)
 		},
 		Run: func(sc Scale) (Result, error) {
 			fr, err := RunFleet(sc)
@@ -110,23 +154,36 @@ func init() {
 // RunFleet runs the fleet population sweep. Every device is one pool job:
 // it draws its parameters from its seed substreams, builds the system and
 // tenant workload, and runs to device death (or the 4x-ideal write budget)
-// under the sweep's shard policy — schemes that cannot shard run serial per
-// device, logged once, never failing the sweep. Device failures (errors or
+// under the sweep's shard policy. With the whole catalogue Partitionable,
+// every scheme's devices decompose across the bank geometry under -shards;
+// only workload-level fallbacks (RAA, file traces) run serial, logged once,
+// never failing the sweep. Device failures (errors or
 // panics) are quarantined: recorded with their cause on the device's row
 // while the rest of the population completes. An interrupted sweep returns
 // every completed row plus an error wrapping ErrInterrupted.
 func RunFleet(sc Scale) (FleetResult, error) {
 	schemes := FleetSchemes
-	devices := sc.fleetDevices()
-	fig := fleetFig(schemes, devices)
-	n := len(schemes) * devices
+	counts := sc.fleetPopulation(schemes)
+	offs, n := fleetOffsets(counts)
+	fig := fleetFig(schemes, counts)
+
+	// Scheme-major job layout with per-scheme counts: job i is device
+	// deviceOf[i] of scheme schemeOf[i].
+	schemeOf := make([]int, n)
+	deviceOf := make([]int, n)
+	for si, c := range counts {
+		for d := 0; d < c; d++ {
+			schemeOf[offs[si]+d] = si
+			deviceOf[offs[si]+d] = d
+		}
+	}
 
 	sh := newSharder(sc)
 	quarantined := make(map[int]error, 1) // written under the pool's lock
-	rows, _, err := runJobsIsolated(sc, fig, true, n,
+	rows, _, err := runJobsIsolated(sc, fig, true, fleetCost(sc, schemes, schemeOf, deviceOf), n,
 		func(i int, qerr error) { quarantined[i] = qerr },
 		func(i int, seed uint64) (FleetDevice, error) {
-			desc, cfg, w := fleetDraw(sc, schemes[i/devices], i%devices, seed)
+			desc, cfg, w := fleetDraw(sc, schemes[schemeOf[i]], deviceOf[i], seed)
 			if sc.FleetPoison == i+1 {
 				panic(fmt.Sprintf("poisoned device %s (WLSIM_FLEET_POISON test hook)", desc))
 			}
@@ -146,7 +203,7 @@ func RunFleet(sc Scale) (FleetResult, error) {
 			}, nil
 		})
 
-	out := FleetResult{Devices: devices, Rows: rows}
+	out := FleetResult{Devices: counts, Rows: rows}
 	for _, s := range schemes {
 		out.Schemes = append(out.Schemes, string(s))
 	}
@@ -155,7 +212,7 @@ func RunFleet(sc Scale) (FleetResult, error) {
 	// cause. Panics are reported by their value alone — the stack is in the
 	// pool's error, but tables must stay byte-deterministic.
 	for i, qerr := range quarantined {
-		desc, _, _ := fleetDraw(sc, schemes[i/devices], i%devices,
+		desc, _, _ := fleetDraw(sc, schemes[schemeOf[i]], deviceOf[i],
 			rng.SeedStream(sc.Seed, uint64(i)))
 		cause := qerr.Error()
 		var pe *exec.PanicError
@@ -169,6 +226,23 @@ func RunFleet(sc Scale) (FleetResult, error) {
 		}
 	}
 	return out, err
+}
+
+// fleetCost ranks fleet jobs for the pool's longest-job-first dispatch.
+// A device's runtime is predictable before it runs: fault-heavy devices pay
+// injector draws plus retry/recovery work on every faulting access (the
+// dominant term), high-variation devices wear unevenly and churn spares,
+// and high-endurance corners serve the most writes before dying. All three
+// come out of the deterministic parameter draw, so ranking costs nothing.
+// This is purely a dispatch-order hint: results are position-keyed and
+// returned in submission order, so cost can never change the output.
+func fleetCost(sc Scale, schemes []SchemeKind, schemeOf, deviceOf []int) func(i int) float64 {
+	return func(i int) float64 {
+		desc, _, _ := fleetDraw(sc, schemes[schemeOf[i]], deviceOf[i],
+			rng.SeedStream(sc.Seed, uint64(i)))
+		return desc.FaultRate*1e6 + desc.Variation +
+			float64(desc.Endurance)/float64(uint64(1)<<32)
+	}
 }
 
 // fleetDraw derives device (scheme, d)'s identity from its seed: an
@@ -238,6 +312,22 @@ func maxU64(a, b uint64) uint64 {
 	return b
 }
 
+// fleetPlanLabel renders the planned population for the summary title:
+// "16 devices/scheme" for a uniform fleet, "rbsg=64, pcms=16, ..." when
+// per-scheme overrides make it ragged.
+func fleetPlanLabel(schemes []string, counts []int) string {
+	if uniformCounts(counts) {
+		return fmt.Sprintf("%d devices/scheme", counts[0])
+	}
+	parts := make([]string, 0, len(schemes))
+	for i, s := range schemes {
+		if i < len(counts) {
+			parts = append(parts, fmt.Sprintf("%s=%d", s, counts[i]))
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
 // renderFleet builds the fleet's output: a per-scheme population summary
 // (counts by death cause, p1/p50/p99 lifetime, mean with its 95% CI,
 // uncorrectable-loss and spare-exhaustion rates), a quarantine report when
@@ -247,7 +337,7 @@ func maxU64(a, b uint64) uint64 {
 func renderFleet(r Result) ([]Table, []SVG) {
 	fr, _ := r.Value.(FleetResult)
 	sum := Table{
-		Title: fmt.Sprintf("Fleet population (%d devices/scheme planned)", fr.Devices),
+		Title: fmt.Sprintf("Fleet population (%s planned)", fleetPlanLabel(fr.Schemes, fr.Devices)),
 		Columns: []string{"scheme", "devices", "quar", "wearout", "faults", "alive",
 			"dead%", "p1", "p50", "p99", "mean±95%", "uncorr/Mrd"},
 	}
@@ -257,12 +347,17 @@ func renderFleet(r Result) ([]Table, []SVG) {
 	}
 	var curves, stepped []Series
 
+	offs, _ := fleetOffsets(fr.Devices)
 	for si, scheme := range fr.Schemes {
+		planned := 0
+		if si < len(fr.Devices) {
+			planned = fr.Devices[si]
+		}
 		var lives, deaths []float64
 		var reads, lost uint64
 		counts := map[string]int{}
-		for d := 0; d < fr.Devices; d++ {
-			i := si*fr.Devices + d
+		for d := 0; d < planned; d++ {
+			i := offs[si] + d
 			if i >= len(fr.Rows) {
 				break
 			}
@@ -297,7 +392,7 @@ func renderFleet(r Result) ([]Table, []SVG) {
 		}
 		sum.Rows = append(sum.Rows, []string{
 			scheme,
-			fmt.Sprintf("%d/%d", ran, fr.Devices),
+			fmt.Sprintf("%d/%d", ran, planned),
 			fmt.Sprintf("%d", counts["quar"]),
 			fmt.Sprintf("%d", counts[string(lifetime.CauseWearout)]),
 			fmt.Sprintf("%d", counts[string(lifetime.CauseFaults)]),

@@ -4,10 +4,12 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"strings"
 	"testing"
 
 	"nvmwear/internal/lifetime"
+	"nvmwear/internal/rng"
 )
 
 // renderFleetTables runs the fleet sweep and renders every output table —
@@ -28,7 +30,7 @@ func renderFleetTables(t *testing.T, sc Scale) string {
 }
 
 // fleetTestScale is the tiny scale with a population small enough for unit
-// tests: 6 devices x 3 schemes = 18 jobs.
+// tests: 6 devices per scheme across the full catalogue.
 func fleetTestScale() Scale {
 	sc := tinyScale()
 	sc.FleetDevices = 6
@@ -104,10 +106,11 @@ func TestFleetQuarantinesPoisonedDevice(t *testing.T) {
 	t.Fatalf("no summary row for %s:\n%s", FleetSchemes[0], out)
 }
 
-// TestFleetShardFallbackNeverFails runs the fleet under -shards: RBSG and
-// SAWL decompose, PCMS cannot — its devices must fall back serial (with a
-// logged reason) rather than failing the sweep.
-func TestFleetShardFallbackNeverFails(t *testing.T) {
+// TestFleetShardsWholeCatalogue runs the fleet under -shards: with every
+// scheme in the catalogue Partitionable and the fleet geometry divisible,
+// every device of every scheme must decompose — zero scheme-level serial
+// fallbacks logged — and every row must complete cleanly.
+func TestFleetShardsWholeCatalogue(t *testing.T) {
 	sc := withParallelism(fleetTestScale(), 4)
 	sc.Shards = 4
 	var logs strings.Builder
@@ -122,8 +125,108 @@ func TestFleetShardFallbackNeverFails(t *testing.T) {
 				i, r.Desc, r.Cause, r.Error)
 		}
 	}
-	if !strings.Contains(logs.String(), "pcms runs serial") {
-		t.Fatalf("PCMS serial fallback not logged:\n%s", logs.String())
+	if strings.Contains(logs.String(), "runs serial") {
+		t.Fatalf("fully Partitionable catalogue still fell back to serial:\n%s", logs.String())
+	}
+}
+
+// TestFleetDeviceOverrides checks the ragged-population plumbing: per-scheme
+// -devices overrides resize only their scheme's block, the job layout stays
+// scheme-major over the prefix sums, the cache identity distinguishes ragged
+// from uniform fleets, and the renderer reports per-scheme planned counts.
+func TestFleetDeviceOverrides(t *testing.T) {
+	sc := fleetTestScale()
+	sc.FleetDeviceOverrides = map[SchemeKind]int{RBSG: 9, PCMS: 2}
+
+	counts := sc.fleetPopulation(FleetSchemes)
+	offs, total := fleetOffsets(counts)
+	wantTotal := 0
+	for i, s := range FleetSchemes {
+		want := 6
+		if s == RBSG {
+			want = 9
+		}
+		if s == PCMS {
+			want = 2
+		}
+		if counts[i] != want {
+			t.Errorf("%s plans %d devices, want %d", s, counts[i], want)
+		}
+		wantTotal += want
+	}
+	if total != wantTotal {
+		t.Fatalf("total = %d, want %d", total, wantTotal)
+	}
+
+	uniform := fleetTestScale()
+	if fleetFig(FleetSchemes, sc.fleetPopulation(FleetSchemes)) ==
+		fleetFig(FleetSchemes, uniform.fleetPopulation(FleetSchemes)) {
+		t.Fatalf("ragged and uniform fleets share a cache identity")
+	}
+
+	fr, err := RunFleet(withParallelism(sc, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fr.Rows) != total {
+		t.Fatalf("%d rows, want %d", len(fr.Rows), total)
+	}
+	// Every block holds its own scheme's devices, numbered from zero.
+	for si, s := range FleetSchemes {
+		for d := 0; d < counts[si]; d++ {
+			row := fr.Rows[offs[si]+d]
+			if row.Desc.Scheme != string(s) || row.Desc.Device != d {
+				t.Fatalf("row %d is %s/dev%03d, want %s/dev%03d",
+					offs[si]+d, row.Desc.Scheme, row.Desc.Device, s, d)
+			}
+		}
+	}
+	tables, _ := renderFleet(Result{fr})
+	out := tables[0].Render()
+	if !strings.Contains(out, "rbsg=9") || !strings.Contains(out, "pcms=2") {
+		t.Fatalf("summary title does not spell the ragged plan:\n%s", out)
+	}
+	if !strings.Contains(out, "9/9") || !strings.Contains(out, "2/2") {
+		t.Fatalf("summary lacks per-scheme ran/planned columns:\n%s", out)
+	}
+}
+
+// TestFleetCostPrefersExpensiveDevices pins the dispatch hint: the drawn
+// fault rate dominates, so any fault-injected device must rank above every
+// fault-free one, and the hint must never perturb results (covered by the
+// determinism test, which runs the same fleet at -j1 and -j8).
+func TestFleetCostPrefersExpensiveDevices(t *testing.T) {
+	sc := fleetTestScale()
+	counts := sc.fleetPopulation(FleetSchemes)
+	offs, n := fleetOffsets(counts)
+	schemeOf := make([]int, n)
+	deviceOf := make([]int, n)
+	for si, c := range counts {
+		for d := 0; d < c; d++ {
+			schemeOf[offs[si]+d] = si
+			deviceOf[offs[si]+d] = d
+		}
+	}
+	cost := fleetCost(sc, FleetSchemes, schemeOf, deviceOf)
+	minFaulty, maxClean := math.Inf(1), math.Inf(-1)
+	faulty := 0
+	for i := 0; i < n; i++ {
+		desc, _, _ := fleetDraw(sc, FleetSchemes[schemeOf[i]], deviceOf[i],
+			rng.SeedStream(sc.Seed, uint64(i)))
+		c := cost(i)
+		if desc.FaultRate > 0 {
+			faulty++
+			minFaulty = math.Min(minFaulty, c)
+		} else {
+			maxClean = math.Max(maxClean, c)
+		}
+	}
+	if faulty == 0 || faulty == n {
+		t.Fatalf("draws produced %d/%d faulty devices; the split test needs both kinds", faulty, n)
+	}
+	if minFaulty <= maxClean {
+		t.Fatalf("cheapest faulty device (%g) does not outrank costliest clean one (%g)",
+			minFaulty, maxClean)
 	}
 }
 

@@ -503,6 +503,9 @@ func (s *Scheme) OverheadBits() uint64 {
 // own CMT/GTD — the per-bank-controller model).
 func (s *Scheme) Partitions() uint64 { return s.cfg.Lines / (s.p << s.maxLevel) }
 
+// PartitionExact implements wl.Partitionable: see Partitions.
+func (s *Scheme) PartitionExact() bool { return true }
+
 // Table exposes the IMT (read-only use by tests and the verifier).
 func (s *Scheme) Table() *imt.Table { return s.table }
 

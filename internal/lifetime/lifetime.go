@@ -42,6 +42,13 @@ type Result struct {
 	SparesUsed  uint64     // spare lines consumed over the run
 	FaultRemaps uint64     // spare consumptions forced by faults, not wear
 	Cause       DeathCause // how (whether) the run ended the device
+
+	// Raw accounting for callers that need more than the ratios above —
+	// the fault sweep's recovery table reads retry/scrub/rebuild counters
+	// here. Both are exact sums across shards in a sharded run, so the
+	// counters stay meaningful whether the run decomposed or not.
+	DeviceStats nvm.Stats
+	SchemeStats wl.Stats
 }
 
 // String implements fmt.Stringer.
@@ -117,6 +124,8 @@ func Run(dev *nvm.Device, lv wl.Leveler, stream trace.Stream, opts Options) Resu
 		SparesUsed:    ds.SparesUsed,
 		FaultRemaps:   FaultRemaps(ds),
 		Cause:         Classify(ds),
+		DeviceStats:   ds,
+		SchemeStats:   st,
 	}
 	if res.Ideal > 0 {
 		res.Normalized = float64(res.Served) / float64(res.Ideal)

@@ -130,6 +130,8 @@ func RunSharded(shards []ShardRun, opts ShardedOptions) (Result, error) {
 		SparesUsed:    ds.SparesUsed,
 		FaultRemaps:   FaultRemaps(ds),
 		Cause:         Classify(ds),
+		DeviceStats:   ds,
+		SchemeStats:   st,
 	}
 	for _, out := range outs {
 		res.Served += out.res.Served

@@ -69,12 +69,12 @@ func (s *Server) resolve(spec Spec) (*run, *admitError) {
 		timeout = d
 	}
 	// Per-run job cap: reject sweeps whose planned job count exceeds the
-	// server's budget before they occupy a queue slot.
+	// server's budget before they occupy a queue slot. Same message shape
+	// as the CLI's pre-run validation (nvmwear.PlanCapError).
 	if s.cfg.MaxRunJobs > 0 && e.Plan != nil {
 		if n := len(e.Plan(sc)); n > s.cfg.MaxRunJobs {
 			return nil, &admitError{http.StatusUnprocessableEntity,
-				fmt.Sprintf("experiment %q plans %d jobs at scale %s, over the server's %d-job cap",
-					spec.Experiment, n, sc.Name, s.cfg.MaxRunJobs), false}
+				nvmwear.PlanCapError(spec.Experiment, n, sc.Name, s.cfg.MaxRunJobs).Error(), false}
 		}
 	}
 	return &run{spec: spec, scale: sc, timeout: timeout, hub: newHub()}, nil

@@ -323,6 +323,16 @@ func (s *Scheme) OverheadBits() uint64 {
 	return s.regions * (2*rBits + 2*qBits + counterBits)
 }
 
+// Partitions implements wl.Partitionable: the mapping is region-granular,
+// so a device slice aligned to region boundaries is a closed address space.
+func (s *Scheme) Partitions() uint64 { return s.regions }
+
+// PartitionExact implements wl.Partitionable: like PCM-S, exchange partners
+// are drawn over the whole instance's regions, so per-bank instances confine
+// the draw to their own bank — the bank-local modeling variant (DESIGN.md
+// §15), not an exact decomposition.
+func (s *Scheme) PartitionExact() bool { return false }
+
 // EntryBits returns the on-chip bits of one mapping entry (without the
 // counter) — used by the Fig 5 cache-budget experiment.
 func EntryBits(regions, regionLines uint64) uint64 {

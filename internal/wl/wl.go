@@ -92,18 +92,36 @@ func ClampEpoch(interval uint64, k int) int {
 	return e
 }
 
-// Partitionable marks schemes whose leveling decisions never cross a
-// partition boundary: the scheme is a product of independent sub-schemes
-// over contiguous address ranges, so running one instance per shard over a
-// sliced device is simulation-identical to one instance over the whole
-// device. Partitions reports the number of independent units (regions for
-// region-local schemes, lines for Identity); a sharded run is exact iff the
-// unit count divides evenly across shards. Globally-coupled schemes
-// (segment-swap's coldest-segment scan, PCM-S/MWSR global exchanges, TLSR's
-// outer refresh) must NOT implement this.
+// Partitionable marks schemes that can run as one independent instance per
+// bank of a sliced device — the contract behind sharded lifetime runs.
+// Partitions reports the number of independent units the instance's own
+// leveling decomposes into (regions for region-local schemes, segments for
+// segment swapping, lines for Identity); shard gating divides the device at
+// unit boundaries.
+//
+// PartitionExact distinguishes the two decomposition models:
+//
+//   - Exact (true): leveling decisions never cross a partition boundary, so
+//     a union of per-bank instances takes the same decisions as one
+//     whole-device instance under a bank-interleaved request order
+//     (Identity, RBSG, the tiered NWL/SAWL controllers).
+//   - Bank-local (false): the whole-device instance has globally-coupled
+//     state — segment swapping's coldest-segment scan, TLSR's outer
+//     refresh, PCM-S/MWSR's device-wide random exchange partners, a single
+//     start-gap region — and the per-bank instances restrict that state's
+//     scope to their own bank. This is a deliberate, documented modeling
+//     change (DESIGN.md §15): each bank levels itself the way a
+//     per-bank-controller device would, with exchange randomness drawn from
+//     per-shard seed substreams, and sharded results match serial within a
+//     tolerance rather than byte for byte.
+//
+// Either way, every scheme in the catalogue implements this interface; only
+// geometry (unit counts that do not divide across shards) or workloads with
+// global state force a serial fallback.
 type Partitionable interface {
 	Leveler
 	Partitions() uint64
+	PartitionExact() bool
 }
 
 // Stats is the shared accounting every scheme reports.
@@ -241,3 +259,7 @@ func (l *Identity) OverheadBits() uint64 { return 0 }
 
 // Partitions implements Partitionable: every line is independent.
 func (l *Identity) Partitions() uint64 { return l.lines }
+
+// PartitionExact implements Partitionable: with no mapping at all, any
+// slicing is exact.
+func (l *Identity) PartitionExact() bool { return true }

@@ -106,6 +106,14 @@ func LookupExperiment(name string) (*Experiment, bool) {
 	return e, ok
 }
 
+// PlanCapError is the rejection for a run whose planned job count exceeds
+// a -max-run-jobs budget. The serve admission check and the CLI's pre-run
+// validation share it so both surfaces reject with the same message shape.
+func PlanCapError(experiment string, jobs int, scale string, capJobs int) error {
+	return fmt.Errorf("experiment %q plans %d jobs at scale %s, over the %d-job cap (-max-run-jobs)",
+		experiment, jobs, scale, capJobs)
+}
+
 // planJobs enumerates an n-job sweep under one fig identity — the Plan
 // shape of every single-sweep experiment.
 func planJobs(fig string, n int) []JobSpec {

@@ -18,23 +18,27 @@ const MaxShards = 32
 
 // ShardPlan is the outcome of gating a run for sharded execution. Shards is
 // the shard count the run will actually use; when it is 1 despite a larger
-// request, Reason says why the run fell back to the serial path (globally
-// coupled scheme, indivisible geometry, workload with global state).
+// request, Reason says why the run fell back to the serial path
+// (indivisible geometry, workload with global state).
 type ShardPlan struct {
 	Shards int
 	Reason string
 }
 
-// PlanShards decides whether the (cfg, w) run can shard `requested` ways
-// without changing what is being simulated. The rule: a shard must be a
-// closed system. Schemes whose leveling is a product of independent
-// partition units (wl.Partitionable) shard exactly when the units divide
-// evenly across shards and each shard keeps the scheme's invariants (its
-// own CMT, at least one spare line). Globally-coupled schemes — segment
-// swapping's coldest-segment scan, TLSR's outer refresh, PCM-S/MWSR's
-// global region exchanges — and workloads with global state (RAA's single
-// hot address, file traces with one replay order) fall back to serial with
-// a reason rather than silently simulating something else.
+// PlanShards decides whether the (cfg, w) run can shard `requested` ways.
+// The rule: a shard must be a closed system. Every scheme in the catalogue
+// is wl.Partitionable; what varies is the decomposition model (see
+// wl.Partitionable and DESIGN.md §15). Exact schemes (Baseline, RBSG,
+// NWL/SAWL) shard without changing what is simulated; bank-local schemes
+// (start-gap, segment swap, TLSR, PCM-S, MWSR) shard by confining their
+// globally-scoped state — coldest-segment scan, outer refresh, the gap,
+// random exchange partners — to each bank, an explicit modeling change
+// pinned within tolerance by the sharded test suite. Either way the split
+// must keep each shard's invariants: unit counts that divide evenly, enough
+// partner units inside a bank, at least one spare line per shard, a CMT
+// slice per tiered controller. Workloads with global state (RAA's single
+// hot address, file traces with one replay order) always fall back to
+// serial with a reason rather than silently simulating something else.
 func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
 	if requested <= 1 {
 		return ShardPlan{Shards: 1}
@@ -58,29 +62,53 @@ func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
 	if cfg.SpareLines < s {
 		return serial(fmt.Sprintf("%d spare lines cannot cover %d shards", cfg.SpareLines, s))
 	}
+	perShard := cfg.Lines / s
 
 	switch cfg.Scheme {
 	case Baseline:
 		// Identity: every line independent; divisibility already checked.
+	case StartGap:
+		// Bank-local gap: each shard is its own single-region start-gap
+		// instance with its own gap line, so any line-divisible slice works.
 	case RBSG:
 		if cfg.Regions%s != 0 {
 			return serial(fmt.Sprintf("%d RBSG regions do not divide into %d shards", cfg.Regions, s))
 		}
-	case StartGap:
-		return serial("start-gap levels one global region")
 	case SegmentSwap:
-		return serial("segment swapping scans for the globally least-worn segment")
+		// Bank-local coldest-segment scan: shards must align to segment
+		// boundaries and keep at least two segments so a bank's hottest
+		// segment still has a cold partner to swap with.
+		if perShard%cfg.RegionLines != 0 {
+			return serial(fmt.Sprintf("shard of %d lines does not align to the %d-line segment", perShard, cfg.RegionLines))
+		}
+		if perShard/cfg.RegionLines < 2 {
+			return serial(fmt.Sprintf("a %d-segment bank has no swap partner", perShard/cfg.RegionLines))
+		}
 	case TLSR:
-		return serial("TLSR's outer level migrates subregions across the whole device")
-	case PCMS:
-		return serial("PCM-S exchanges random regions device-wide")
-	case MWSR:
-		return serial("MWSR exchanges random regions device-wide")
+		// Bank-local outer refresh: each shard runs a two-level instance
+		// over Regions/s subregions, so the split must keep at least two
+		// regions per bank (a one-region bank would degenerate to
+		// single-level SR and change the scheme under measurement).
+		if cfg.Regions%s != 0 {
+			return serial(fmt.Sprintf("%d TLSR regions do not divide into %d shards", cfg.Regions, s))
+		}
+		if cfg.Regions/s < 2 {
+			return serial(fmt.Sprintf("%d TLSR regions leave no outer level across %d banks", cfg.Regions, s))
+		}
+	case PCMS, MWSR:
+		// Bank-local random exchanges: shards must align to region
+		// boundaries and keep at least two regions so the per-bank partner
+		// draw (from the shard's own seed substream) has somewhere to go.
+		if perShard%cfg.RegionLines != 0 {
+			return serial(fmt.Sprintf("shard of %d lines does not align to the %d-line region", perShard, cfg.RegionLines))
+		}
+		if perShard/cfg.RegionLines < 2 {
+			return serial(fmt.Sprintf("a %d-region bank has no exchange partner", perShard/cfg.RegionLines))
+		}
 	case NWL, SAWL:
 		// Tiered schemes partition at maximum-granularity-region boundaries;
 		// each shard runs its own controller (CMT + GTD) over its bank — the
 		// per-bank-controller model.
-		perShard := cfg.Lines / s
 		if perShard%cfg.MaxGranLines != 0 {
 			return serial(fmt.Sprintf("shard of %d lines does not align to the %d-line max region", perShard, cfg.MaxGranLines))
 		}
@@ -93,18 +121,38 @@ func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
 	return ShardPlan{Shards: requested}
 }
 
+// Shard decomposition models, as reported by SchemeShardability and
+// rendered by `wlsim list`: "exact" means a sharded run takes the same
+// leveling decisions as a serial one (wl.Partitionable.PartitionExact);
+// "bank-local" means the scheme's globally-scoped state is confined to each
+// bank — a documented modeling change (DESIGN.md §15) pinned within
+// tolerance, not byte-identical to serial.
+const (
+	ShardModelExact     = "exact"
+	ShardModelBankLocal = "bank-local"
+)
+
 // SchemeShardability reports whether a scheme's lifetime runs can
-// decompose across the bank geometry at all, with PlanShards' reason when
-// they cannot. It probes the scheme on a representative divisible geometry
-// (default-sized device, uniform workload), so a "yes" means the scheme is
-// wl.Partitionable — a concrete run can still fall back serial when its
-// own geometry does not divide. `wlsim list` renders this per scheme.
-func SchemeShardability(kind SchemeKind) (bool, string) {
-	plan := PlanShards(
-		SystemConfig{Scheme: kind, Lines: 1 << 15},
-		WorkloadSpec{Kind: WorkloadUniform, WriteRatio: 0.5},
-		MaxShards)
-	return plan.Shards > 1, plan.Reason
+// decompose across the bank geometry at all, which decomposition model they
+// use (ShardModelExact or ShardModelBankLocal), and PlanShards' reason when
+// they cannot shard. It probes the scheme on a representative divisible
+// geometry (default-sized device, uniform workload), so a "yes" means the
+// scheme is wl.Partitionable — a concrete run can still fall back serial
+// when its own geometry does not divide. `wlsim list` renders this per
+// scheme.
+func SchemeShardability(kind SchemeKind) (ok bool, model, reason string) {
+	probe := SystemConfig{Scheme: kind, Lines: 1 << 15}
+	plan := PlanShards(probe, WorkloadSpec{Kind: WorkloadUniform, WriteRatio: 0.5}, MaxShards)
+	if plan.Shards <= 1 {
+		return false, "", plan.Reason
+	}
+	model = ShardModelExact
+	if sys, err := NewSystem(probe); err == nil {
+		if p, isP := sys.lv.(wl.Partitionable); isP && !p.PartitionExact() {
+			model = ShardModelBankLocal
+		}
+	}
+	return true, model, ""
 }
 
 // shardSystemConfig derives shard `bank`'s system configuration from the
@@ -119,7 +167,7 @@ func shardSystemConfig(cfg SystemConfig, bank, banks uint64) SystemConfig {
 	sub.Lines = cfg.Lines / banks
 	sub.SpareLines = nvm.ShareLines(cfg.SpareLines, bank, banks)
 	sub.Seed = rng.SeedStream(cfg.Seed, bank)
-	if cfg.Scheme == RBSG {
+	if cfg.Scheme == RBSG || cfg.Scheme == TLSR {
 		sub.Regions = cfg.Regions / banks
 	}
 	if cfg.Scheme == NWL || cfg.Scheme == SAWL {
@@ -199,9 +247,9 @@ func RunShardedLifetime(cfg SystemConfig, w WorkloadSpec, maxWrites uint64, opts
 }
 
 // sharder threads the sweep-level -shards knob through a figure's jobs. It
-// deduplicates fallback log lines — a fig16 sweep runs the same
-// globally-coupled scheme across 14 benchmarks, and one reason line per
-// scheme is signal while 14 are noise.
+// deduplicates fallback log lines — a fig16 sweep runs the same scheme
+// across 14 benchmarks, and when its geometry cannot divide, one reason
+// line per scheme is signal while 14 are noise.
 type sharder struct {
 	sc   Scale
 	mu   sync.Mutex
