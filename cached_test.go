@@ -188,6 +188,54 @@ func TestCacheKeysCarryVersionSalt(t *testing.T) {
 	}
 }
 
+// TestWearModelSaltsCacheKeys pins the -wear invalidation contract at both
+// levels. Key level: a non-default wear model salts the lifetime sweeps'
+// keys while the default keeps the historical keys and experiments the
+// sharder never touches ignore the model entirely. Store level: against
+// one warm cache, a -wear override forces a full recompute (no stale
+// default-physics results can be served), produces a different table, and
+// leaves the default entries warm for the next default run.
+func TestWearModelSaltsCacheKeys(t *testing.T) {
+	sc := tinyScale()
+	key := sc.cacheKey("fig15", true, 3)
+	worn := sc
+	worn.WearModel = "compress"
+	if worn.cacheKey("fig15", true, 3) == key {
+		t.Fatal("wear model does not salt the sharded cache key")
+	}
+	if worn.cacheKey("fig12", false, 3) != sc.cacheKey("fig12", false, 3) {
+		t.Fatal("wear model salts an experiment the sharder never touches")
+	}
+
+	dir := t.TempDir()
+	st := openCache(t, dir)
+	sc.Cache = st
+	worn.Cache = st
+	def := renderFig(RunFig15(sc))
+	defMisses := st.Stats().Misses
+	if defMisses == 0 {
+		t.Fatal("cold default run persisted nothing")
+	}
+	compressed := renderFig(RunFig15(worn))
+	wornStats := st.Stats()
+	if got := wornStats.Misses - defMisses; got != defMisses {
+		t.Fatalf("-wear compress recomputed %d of %d jobs; wear-salted keys must force a full recompute", got, defMisses)
+	}
+	if compressed == def {
+		t.Fatal("compression-aware wear rendered the default-physics table")
+	}
+	if again := renderFig(RunFig15(sc)); again != def {
+		t.Fatal("default re-run after the -wear run lost byte identity")
+	}
+	final := st.Stats()
+	if final.Misses != wornStats.Misses {
+		t.Fatalf("default re-run recomputed %d jobs; its entries should have stayed warm", final.Misses-wornStats.Misses)
+	}
+	if final.Hits == wornStats.Hits {
+		t.Fatal("default re-run served no cache hits")
+	}
+}
+
 // TestOpenCacheWiring exercises Scale.OpenCache, the path wlsim uses.
 func TestOpenCacheWiring(t *testing.T) {
 	sc := tinyScale()

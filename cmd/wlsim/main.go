@@ -82,6 +82,7 @@ func main() {
 	bandwidthGB := flag.Float64("bandwidth", 1, "project: write traffic in GB/s")
 	svgDir := flag.String("svg", "", "also write each figure as an SVG into this directory")
 	sweepScheme := flag.String("scheme", "pcms", "sweep: scheme to sweep")
+	wearModel := flag.String("wear", "", "wear model for lifetime runs: uniform|variation|compress (default: historical behavior)")
 	devices := flag.String("devices", "", "fleet: devices per scheme: N, scheme=N overrides, or both (\"32,rbsg=64\"; default 16)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProfile := flag.String("memprofile", "", "write a post-run heap profile to this file")
@@ -133,6 +134,13 @@ func main() {
 	default:
 		sc.Shards = *shards
 	}
+	// -wear is validated up front — both the CLI and serve paths inherit the
+	// checked name, so a typo fails fast instead of erroring per sweep job.
+	if err := nvmwear.CheckWearModel(*wearModel); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	sc.WearModel = *wearModel
 	// Diagnostics (shard fallbacks, staleness, skip notices) go to stderr so
 	// stdout stays machine-readable; clear any live progress counter first.
 	sc.Logf = func(format string, args ...any) {
@@ -148,6 +156,7 @@ func main() {
 			Seed:         *seed,
 			Parallelism:  *workers,
 			Shards:       sc.Shards,
+			Wear:         *wearModel,
 			CacheDir:     *cacheDir,
 			Format:       *format,
 			QueueDepth:   *queueDepth,
@@ -393,6 +402,15 @@ serial ones (per-bank devices, spare pools and RNG substreams — see
 DESIGN.md par.10); the default is therefore 1, and sharded results are
 cached under separate keys (only for the experiments whose lifetime runs
 the sharder actually touches).
+
+-wear NAME selects the device's per-line endurance model for every
+lifetime run: "uniform" (every line gets Wmax), "variation" (Gaussian
+process variation, the default whenever a run draws a variation) or
+"compress" (compression-aware wear: a line's effective endurance scales
+inversely with how compressible its data is, so incompressible lines wear
+at full rate while compressible ones last up to 4x longer). The default
+("") keeps historical behavior, and its results stay cached under the
+historical keys; non-default models are cached under wear-salted keys.
 
 As each series of a figure completes, a notice goes to stderr and (with
 -svg) an accumulating <fig>.partial.svg is updated, so long sweeps render

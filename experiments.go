@@ -242,6 +242,14 @@ type Scale struct {
 	// is folded into the sweep's cache identity, not the cache key salt.
 	SweepScheme SchemeKind
 
+	// WearModel names the nvm.WearModel every lifetime run simulates under
+	// (cmd/wlsim's -wear flag), resolved by nvm.WearModelByName. Empty keeps
+	// the historical default (variation wear when the config draws a
+	// variation, uniform otherwise). Non-default models salt the lifetime
+	// sweeps' cache keys (cacheKey), so results under different wear physics
+	// never collide in the store.
+	WearModel string
+
 	// Project parameterizes the `project` experiment's wall-clock lifetime
 	// projection (cmd/wlsim's -normalized/-endurance/-capacity/-bandwidth
 	// flags). Zero fields take the paper-derived defaults.
@@ -324,7 +332,7 @@ func (sc *Scale) OpenCache() (func() error, error) {
 // RNG draws, changed defaults, fixed simulation bugs): entries under the
 // old salt simply stop matching and age out, so a stale cache can never
 // leak pre-change results into post-change tables.
-const resultsVersion = "wlsim-results-v1"
+const resultsVersion = "wlsim-results-v2"
 
 // cacheKey builds the canonical cache key of one sweep job: the results
 // version salt, every Scale parameter that can influence a result, the
@@ -352,6 +360,13 @@ func (sc Scale) cacheKey(fig string, sharded bool, i int) string {
 	// warm across this refactor.
 	if sharded && sc.Shards > 1 {
 		key += fmt.Sprintf("|shards=%d", sc.Shards)
+	}
+	// Only lifetime sweeps feel the wear model (fixed-length trace figures
+	// never wear lines out), and the default stays unsalted so existing
+	// caches remain warm; a -wear override re-keys exactly the runs whose
+	// physics it changes.
+	if sharded && sc.WearModel != "" {
+		key += "|wear=" + sc.WearModel
 	}
 	return key
 }

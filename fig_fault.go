@@ -89,10 +89,11 @@ func init() {
 // RNG draws when disabled).
 var FaultRates = []float64{0, 1e-5, 1e-4, 1e-3, 1e-2}
 
-// FaultSchemes are the schemes the fault sweep compares: the non-tiered
-// hybrid baseline plus both tiered schemes (whose NVM-resident metadata
-// adds a failure surface the others do not have).
-var FaultSchemes = []SchemeKind{PCMS, NWL, SAWL}
+// FaultSchemes are the schemes the fault sweep compares: the full
+// registered catalogue, so every scheme's recovery machinery — including
+// the NVM-resident metadata of the tiered schemes and the decoder-folded
+// spare remaps of wolfram — degrades under the same injected rates.
+var FaultSchemes = Schemes()
 
 // faultFig is the sweep's cache identity. The "v2" marks the result type
 // growing the recovery counters: the lifetime numbers are unchanged, but

@@ -614,9 +614,11 @@ func attackScore(sc Scale, sh *sharder, kind SchemeKind, seed uint64) (analysis.
 	return analysis.AttackScore{RAANormalized: raa, BPANormalized: bpa}, nil
 }
 
-// AttackKinds are the schemes the `attack` experiment scores — every
-// implemented scheme, baseline first (Sec 2.2's resilience comparison).
-var AttackKinds = []SchemeKind{Baseline, SegmentSwap, RBSG, TLSR, PCMS, MWSR, SAWL}
+// AttackKinds are the schemes the `attack` experiment scores — the full
+// registered catalogue, baseline first (Sec 2.2's resilience comparison).
+// The scheme list is part of the sweep's cache identity (attackFig), so
+// growing the catalogue re-keys the sweep rather than misreading old rows.
+var AttackKinds = Schemes()
 
 // attackFig is the attack sweep's cache identity: the scheme list is a
 // sweep parameter outside Scale, so it is part of the identity.

@@ -37,8 +37,14 @@ type Config struct {
 	// Variation, when > 0, draws each line's endurance from a normal
 	// distribution with coefficient of variation Variation (process
 	// variation in MLC cells), truncated to [Endurance/4, 2*Endurance].
+	// It is consumed by the variation wear model (see Wear).
 	Variation float64
 	Seed      uint64
+
+	// Wear selects the per-line endurance model (see WearModel). Nil keeps
+	// the historical default: variation wear when Variation > 0, uniform
+	// otherwise.
+	Wear WearModel
 
 	// TrackData allocates one uint64 of payload per line so tests can
 	// verify data integrity across swaps.
@@ -108,6 +114,7 @@ type Device struct {
 	endurance []uint32 // nil when uniform
 	data      []uint64
 	inj       *fault.Injector // nil when Config.Fault is disabled
+	retired   func(pma uint64) // nil unless SetRetireHook was called
 
 	sparesUsed  uint64
 	failedLines uint64
@@ -145,33 +152,14 @@ func New(cfg Config) *Device {
 		cfg:    cfg,
 		writes: make([]uint32, cfg.Lines),
 	}
-	if cfg.Variation > 0 {
-		d.endurance = make([]uint32, cfg.Lines)
-		r := rng.New(cfg.Seed ^ 0xe7037ed1a0b428db)
-		mean := float64(cfg.Endurance)
-		sigma := mean * cfg.Variation
-		for i := range d.endurance {
-			// Box-Muller-free approximation: sum of 12 uniforms has
-			// stddev 1 and is plenty for a wear model.
-			var s float64
-			for k := 0; k < 12; k++ {
-				s += r.Float64()
-			}
-			e := mean + (s-6)*sigma
-			if e < mean/4 {
-				e = mean / 4
-			}
-			if e > 2*mean {
-				e = 2 * mean
-			}
-			d.endurance[i] = uint32(e)
-			// Truncation of tiny nominal endurances (< 4) can round to
-			// zero, which would make the line consume a spare on its very
-			// first write; every line serves at least one write.
-			if d.endurance[i] == 0 {
-				d.endurance[i] = 1
-			}
-		}
+	model := cfg.Wear
+	if model == nil {
+		model = defaultWearModel()
+	}
+	d.endurance = model.Endurances(cfg)
+	if d.endurance != nil && uint64(len(d.endurance)) != cfg.Lines {
+		panic(fmt.Sprintf("nvm: wear model %q returned %d endurances for %d lines",
+			model.Name(), len(d.endurance), cfg.Lines))
 	}
 	if cfg.TrackData {
 		d.data = make([]uint64, cfg.Lines)
@@ -207,8 +195,19 @@ func (d *Device) replaceLine(pma uint64) bool {
 	}
 	d.sparesUsed++
 	d.writes[pma] = 0
+	if d.retired != nil {
+		d.retired(pma)
+	}
 	return true
 }
+
+// SetRetireHook registers fn to observe every successful spare replacement
+// — wear-out, stuck-at, retry escalation and ECC scrub alike — with the
+// retired physical line's address. Decoder-level schemes (WoLFRaM) use it
+// to fold the device's spare remaps into their own remap accounting instead
+// of layering a second indirection table over the spare area. The hook must
+// not access the device. At most one hook; nil clears it.
+func (d *Device) SetRetireHook(fn func(pma uint64)) { d.retired = fn }
 
 // wearOne applies one programming pulse to line pma: the endurance check,
 // spare replacement on wear-out, and the wear/traffic counters.

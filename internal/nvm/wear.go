@@ -1,0 +1,169 @@
+// Wear models: the pluggable per-line endurance policy of a device.
+//
+// Historically the device knew exactly one wear story — uniform nominal
+// endurance, optionally perturbed by Gaussian process variation drawn
+// inline in New. Factoring that draw behind the WearModel interface lets a
+// configuration choose *how* lines wear without touching the device's wear
+// accounting: a model maps a Config to a per-line endurance vector once, at
+// construction, and everything downstream (Write/WriteRun span folding,
+// IdealWrites, spare replacement) already consumes per-line endurance.
+//
+// Three models ship:
+//
+//   - uniform: every line wears at the nominal Config.Endurance.
+//   - variation: Gaussian process variation (the historical Config.Variation
+//     draw, moved here verbatim — byte-identical streams).
+//   - compress: compression-aware wear (Escuin et al.): a line written with
+//     fewer compressed bits wears fewer cells per write, so its effective
+//     endurance in line-writes is Endurance divided by its compressed-size
+//     fraction. Each line draws a fraction once (some lines are
+//     incompressible), modeling data that is stable in compressibility at
+//     the placement granularity.
+package nvm
+
+import (
+	"fmt"
+
+	"nvmwear/internal/rng"
+)
+
+// WearModel maps a device configuration to a per-line endurance vector.
+// Returning nil means "uniform at Config.Endurance" — the device then skips
+// the vector entirely and IdealWrites stays a multiplication, exactly the
+// historical fast path.
+//
+// Models must be stateless and deterministic in Config (same Config, same
+// vector): devices are rebuilt freely by the experiment engine and a model
+// is consulted once per construction.
+type WearModel interface {
+	// Name is the model's stable identity — the -wear flag value and the
+	// cache-key salt.
+	Name() string
+	// Endurances returns line i's write limit at index i, or nil for
+	// uniform wear. Implementations must honor Config.Lines and never
+	// return zero entries (a zero-endurance line would consume a spare on
+	// its first write).
+	Endurances(cfg Config) []uint32
+}
+
+// UniformWear is the trivial model: every line at nominal endurance.
+type UniformWear struct{}
+
+// Name implements WearModel.
+func (UniformWear) Name() string { return "uniform" }
+
+// Endurances implements WearModel: nil means uniform.
+func (UniformWear) Endurances(Config) []uint32 { return nil }
+
+// variationSeedSalt decorrelates the endurance draw from every other
+// consumer of Config.Seed. The constant predates the WearModel seam and
+// must never change: the variation stream is pinned by goldens.
+const variationSeedSalt = 0xe7037ed1a0b428db
+
+// VariationWear draws each line's endurance from a normal distribution with
+// coefficient of variation Config.Variation (process variation in MLC
+// cells), truncated to [Endurance/4, 2*Endurance]. This is the historical
+// Config.Variation behaviour, moved behind the seam without reordering a
+// single RNG draw; with Variation <= 0 it degrades to uniform.
+type VariationWear struct{}
+
+// Name implements WearModel.
+func (VariationWear) Name() string { return "variation" }
+
+// Endurances implements WearModel.
+func (VariationWear) Endurances(cfg Config) []uint32 {
+	if cfg.Variation <= 0 {
+		return nil
+	}
+	endurance := make([]uint32, cfg.Lines)
+	r := rng.New(cfg.Seed ^ variationSeedSalt)
+	mean := float64(cfg.Endurance)
+	sigma := mean * cfg.Variation
+	for i := range endurance {
+		// Box-Muller-free approximation: sum of 12 uniforms has
+		// stddev 1 and is plenty for a wear model.
+		var s float64
+		for k := 0; k < 12; k++ {
+			s += r.Float64()
+		}
+		e := mean + (s-6)*sigma
+		if e < mean/4 {
+			e = mean / 4
+		}
+		if e > 2*mean {
+			e = 2 * mean
+		}
+		endurance[i] = uint32(e)
+		// Truncation of tiny nominal endurances (< 4) can round to
+		// zero, which would make the line consume a spare on its very
+		// first write; every line serves at least one write.
+		if endurance[i] == 0 {
+			endurance[i] = 1
+		}
+	}
+	return endurance
+}
+
+// compressSeedSalt decorrelates the compressed-size draw from both the
+// variation stream and every other Config.Seed consumer.
+const compressSeedSalt = 0x51c07a9be5ca11b7
+
+// compressIncompressibleP is the fraction of lines whose data does not
+// compress at all (encrypted/random payloads); they wear at nominal
+// endurance.
+const compressIncompressibleP = 0.25
+
+// CompressWear models compression-aware wear (Escuin et al.): writing a
+// line that compresses to a fraction f of its size programs only that
+// fraction of its cells, so the line endures Endurance/f line-writes. Each
+// line draws its fraction once from the seed — a quarter of lines are
+// incompressible (f = 1), the rest uniform in (0.25, 1] — giving effective
+// endurances in [Endurance, 4*Endurance).
+type CompressWear struct{}
+
+// Name implements WearModel.
+func (CompressWear) Name() string { return "compress" }
+
+// Endurances implements WearModel.
+func (CompressWear) Endurances(cfg Config) []uint32 {
+	endurance := make([]uint32, cfg.Lines)
+	r := rng.New(cfg.Seed ^ compressSeedSalt)
+	mean := float64(cfg.Endurance)
+	for i := range endurance {
+		f := 1.0
+		if !r.Bool(compressIncompressibleP) {
+			f = 0.25 + 0.75*r.Float64()
+		}
+		endurance[i] = uint32(mean / f)
+		if endurance[i] == 0 {
+			endurance[i] = 1
+		}
+	}
+	return endurance
+}
+
+// WearModelByName resolves a -wear flag value to its model. The empty name
+// is not a model: callers wanting "the config's default" resolve nil
+// Config.Wear instead (see defaultWearModel).
+func WearModelByName(name string) (WearModel, error) {
+	switch name {
+	case "uniform":
+		return UniformWear{}, nil
+	case "variation":
+		return VariationWear{}, nil
+	case "compress":
+		return CompressWear{}, nil
+	}
+	return nil, fmt.Errorf("nvm: unknown wear model %q (have %v)", name, WearModelNames())
+}
+
+// WearModelNames lists the registered model names, CLI-help order.
+func WearModelNames() []string {
+	return []string{"uniform", "variation", "compress"}
+}
+
+// defaultWearModel resolves a Config with no explicit model to the
+// historical behaviour: variation when Config.Variation is set, uniform
+// otherwise. (VariationWear itself degrades to uniform at Variation <= 0,
+// so the default is simply VariationWear.)
+func defaultWearModel() WearModel { return VariationWear{} }

@@ -50,6 +50,14 @@ func (s *Server) resolve(spec Spec) (*run, *admitError) {
 	}
 	sc.Shards = shards
 	sc.SweepScheme = nvmwear.SchemeKind(spec.Scheme)
+	wear := spec.Wear
+	if wear == "" {
+		wear = s.cfg.Wear
+	}
+	if err := nvmwear.CheckWearModel(wear); err != nil {
+		return nil, &admitError{http.StatusBadRequest, err.Error(), false}
+	}
+	sc.WearModel = wear
 	format := spec.Format
 	if format == "" {
 		format = s.cfg.Format

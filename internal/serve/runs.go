@@ -37,6 +37,7 @@ type Spec struct {
 	Seed       *uint64 `json:"seed,omitempty"`    // nil = server default
 	Shards     int     `json:"shards,omitempty"`  // 0 = server default
 	Scheme     string  `json:"scheme,omitempty"`  // sweep experiment's scheme
+	Wear       string  `json:"wear,omitempty"`    // wear model; "" = server default
 	Timeout    string  `json:"timeout,omitempty"` // per-run deadline, time.ParseDuration syntax
 	Format     string  `json:"format,omitempty"`  // artifact format: text|csv|json
 }
@@ -81,6 +82,7 @@ type runView struct {
 	Scale      string   `json:"scale"`
 	Seed       uint64   `json:"seed"`
 	Shards     int      `json:"shards,omitempty"`
+	Wear       string   `json:"wear,omitempty"`
 	State      State    `json:"state"`
 	Error      string   `json:"error,omitempty"`
 	Panicked   bool     `json:"panicked,omitempty"`
@@ -109,6 +111,7 @@ func (r *run) view() runView {
 		Scale:      r.scale.Name,
 		Seed:       r.scale.Seed,
 		Shards:     r.scale.Shards,
+		Wear:       r.scale.WearModel,
 		State:      r.state,
 		Error:      r.errMsg,
 		Panicked:   r.panicked,
@@ -280,10 +283,10 @@ func (r *run) publishState() {
 
 // dedupeKey is the spec identity used to coalesce concurrent duplicate
 // submissions onto one run: same experiment, resolved scale, seed, shard
-// layout and scheme means byte-identical work.
+// layout, scheme and wear model means byte-identical work.
 func (r *run) dedupeKey() string {
-	return fmt.Sprintf("%s|%s|%d|%d|%s|%s",
-		r.spec.Experiment, r.scale.Name, r.scale.Seed, r.scale.Shards, r.spec.Scheme, r.spec.Format)
+	return fmt.Sprintf("%s|%s|%d|%d|%s|%s|%s",
+		r.spec.Experiment, r.scale.Name, r.scale.Seed, r.scale.Shards, r.spec.Scheme, r.scale.WearModel, r.spec.Format)
 }
 
 // runSet is the server's run registry.

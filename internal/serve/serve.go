@@ -40,6 +40,7 @@ type Config struct {
 	Seed         uint64        // default seed; 0 = 42 (the CLI default)
 	Parallelism  int           // sweep workers per run; 0 = all cores
 	Shards       int           // default -shards; 0 = 1 (serial)
+	Wear         string        // default wear model; "" = historical behavior
 	CacheDir     string        // result store; "" disables caching
 	Format       string        // default artifact format; "" = text
 	QueueDepth   int           // bounded run queue; 0 = 16
@@ -118,6 +119,9 @@ type Server struct {
 func New(cfg Config) (*Server, error) {
 	cfg.fillDefaults()
 	if _, err := nvmwear.ScaleByName(cfg.Scale); err != nil {
+		return nil, err
+	}
+	if err := nvmwear.CheckWearModel(cfg.Wear); err != nil {
 		return nil, err
 	}
 	s := &Server{

@@ -1,0 +1,15 @@
+package softwear
+
+import (
+	"testing"
+
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/wltest"
+)
+
+func BenchmarkAccess(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		dev := wltest.BenchDevice(1 << 14)
+		return New(dev, Config{Lines: 1 << 14, PageLines: 1 << 6, SamplePeriod: 8, Trigger: 8})
+	})
+}

@@ -1,0 +1,239 @@
+// Package softwear implements a SoftWear-style software-only wear-leveling
+// scheme [Boukhobza et al., SoftWear — see PAPERS.md]: page-granularity
+// remapping driven entirely by write counts the *software* observes, with
+// no per-line hardware counters, no on-chip mapping table and no random
+// keys.
+//
+// The OS cannot afford to count every write, so it samples: every S-th
+// demand write it observes is charged twice in software (DRAM-resident
+// state, hence OverheadBits() == 0 on-chip) — to the written page's epoch
+// counter, which detects hotness, and to the written frame's cumulative
+// wear estimate, which never resets. When a page's epoch count reaches the
+// trigger T, the software concludes the page is hot and moves it to the
+// least-worn physical frame (minimum wear estimate, lowest frame number on
+// ties — a deterministic choice that needs no RNG at all), swapping data
+// with whatever page lived there. The hot page's epoch counter resets so
+// the next epoch observes fresh traffic.
+//
+// Compared to the hardware schemes in this catalogue, softwear trades
+// precision (sampling misses short bursts below S writes) and granularity
+// (whole pages move, costing 2*PageLines device writes per swap) for zero
+// hardware cost — exactly the trade SoftWear argues for in-memory NVM.
+package softwear
+
+import (
+	"nvmwear/internal/addr"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// Config parameterizes the scheme.
+type Config struct {
+	Lines        uint64 // logical lines (power of two)
+	PageLines    uint64 // lines per remapped page (power of two)
+	SamplePeriod uint64 // S: every S-th demand write is charged to its page
+	Trigger      uint64 // T: sampled count at which a page is declared hot
+}
+
+// Scheme is a softwear instance bound to a device.
+type Scheme struct {
+	cfg    Config
+	dev    *nvm.Device
+	q      uint64 // lines per page
+	pages  uint64
+	sample uint64 // S
+	trig   uint32 // T
+
+	perm  []uint32 // logical page -> physical frame
+	inv   []uint32 // physical frame -> logical page
+	count []uint32 // sampled epoch write count per logical page (resets on rotate)
+	wear  []uint32 // sampled cumulative wear estimate per physical frame
+	g     uint64   // global demand-write counter (drives sampling)
+	bufA  []uint64
+	bufB  []uint64
+
+	stats wl.Stats
+}
+
+// New creates the scheme over dev.
+func New(dev *nvm.Device, cfg Config) *Scheme {
+	if !addr.IsPow2(cfg.Lines) || !addr.IsPow2(cfg.PageLines) {
+		panic("softwear: Lines and PageLines must be powers of two")
+	}
+	if cfg.PageLines > cfg.Lines {
+		panic("softwear: page larger than memory")
+	}
+	if cfg.SamplePeriod == 0 || cfg.Trigger == 0 {
+		panic("softwear: zero sample period or trigger")
+	}
+	if dev.Lines() < cfg.Lines {
+		panic("softwear: device smaller than logical space")
+	}
+	pages := cfg.Lines / cfg.PageLines
+	if pages < 2 {
+		panic("softwear: need at least two pages to swap")
+	}
+	s := &Scheme{
+		cfg:    cfg,
+		dev:    dev,
+		q:      cfg.PageLines,
+		pages:  pages,
+		sample: cfg.SamplePeriod,
+		trig:   uint32(cfg.Trigger),
+		perm:   make([]uint32, pages),
+		inv:    make([]uint32, pages),
+		count:  make([]uint32, pages),
+		wear:   make([]uint32, pages),
+		bufA:   make([]uint64, cfg.PageLines),
+		bufB:   make([]uint64, cfg.PageLines),
+	}
+	for i := uint64(0); i < pages; i++ {
+		s.perm[i] = uint32(i)
+		s.inv[i] = uint32(i)
+	}
+	return s
+}
+
+// Translate implements wl.Leveler: pages relocate whole, line offsets
+// within a page are identity (software cannot scramble a hardware row).
+func (s *Scheme) Translate(lma uint64) uint64 {
+	return uint64(s.perm[lma/s.q])*s.q + (lma & (s.q - 1))
+}
+
+// Access implements wl.Leveler.
+func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
+	pma := s.Translate(lma)
+	if op == trace.Read {
+		s.stats.DataReads++
+		s.dev.Read(pma)
+		return pma
+	}
+	s.stats.DataWrites++
+	s.dev.Write(pma)
+	s.g++
+	if s.g%s.sample == 0 {
+		lpn := lma / s.q
+		s.count[lpn]++
+		s.wear[s.perm[lpn]]++
+		if s.count[lpn] >= s.trig {
+			s.rotate(lpn)
+		}
+	}
+	return pma
+}
+
+// AccessBatch implements wl.BatchLeveler. Sampling charges only the written
+// page, so mid-run no other page's counter can move and the mapping is
+// stable until this run's own trigger; a run of identical writes folds into
+// one nvm.WriteRun clamped at the write whose sample completes the trigger.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		lpn := lma / s.q
+		// The sample that fires the trigger is sample number
+		// g/S + (T - count); it lands on demand write (g/S + (T-count))*S,
+		// i.e. d writes from here. Writes beyond d belong to the next
+		// mapping epoch.
+		if d := (s.g/s.sample+uint64(s.trig-s.count[lpn]))*s.sample - s.g; d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		samples := (s.g+applied)/s.sample - s.g/s.sample
+		s.g += applied
+		if samples > 0 {
+			s.count[lpn] += uint32(samples)
+			s.wear[s.perm[lpn]] += uint32(samples)
+			if s.count[lpn] >= s.trig {
+				s.rotate(lpn)
+			}
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: a hot page triggers a swap per S*T
+// demand writes to it, so epochs size from that interval.
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.sample*uint64(s.trig), k) }
+
+// rotate moves hot page `hot` to the least-worn physical frame (minimum
+// cumulative wear estimate, lowest frame number on ties, the hot page's own
+// frame excluded), swapping data with the page that lived there, and resets
+// the hot page's epoch counter. The coldest scan is O(pages) of DRAM —
+// cheap for software, free of on-chip state.
+func (s *Scheme) rotate(hot uint64) {
+	s.stats.Remaps++
+	s.count[hot] = 0
+	fh := uint64(s.perm[hot])
+	fv := uint64(0)
+	if fh == 0 {
+		fv = 1
+	}
+	for f := fv + 1; f < s.pages; f++ {
+		if f != fh && s.wear[f] < s.wear[fv] {
+			fv = f
+		}
+	}
+	victim := uint64(s.inv[fv])
+	baseH, baseV := fh*s.q, fv*s.q
+	for lao := uint64(0); lao < s.q; lao++ {
+		s.bufA[lao] = s.dev.ReadData(baseH + lao)
+		s.bufB[lao] = s.dev.ReadData(baseV + lao)
+	}
+	s.perm[hot], s.perm[victim] = s.perm[victim], s.perm[hot]
+	s.inv[fh], s.inv[fv] = s.inv[fv], s.inv[fh]
+	for lao := uint64(0); lao < s.q; lao++ {
+		s.dev.WriteData(baseV+lao, s.bufA[lao])
+		s.dev.WriteData(baseH+lao, s.bufB[lao])
+		s.stats.SwapWrites += 2
+	}
+}
+
+// Lines implements wl.Leveler.
+func (s *Scheme) Lines() uint64 { return s.cfg.Lines }
+
+// Name implements wl.Leveler.
+func (s *Scheme) Name() string { return "SoftWear" }
+
+// Stats implements wl.Leveler.
+func (s *Scheme) Stats() wl.Stats { return s.stats }
+
+// Pages returns the number of remappable pages.
+func (s *Scheme) Pages() uint64 { return s.pages }
+
+// OverheadBits implements wl.Leveler: zero. The page table and the sampled
+// counters live in ordinary DRAM managed by software — SoftWear's whole
+// premise is that the memory controller carries no wear-leveling state.
+func (s *Scheme) OverheadBits() uint64 { return 0 }
+
+// Partitions implements wl.Partitionable: the mapping is page-granular, so
+// a device slice aligned to page boundaries is a closed address space.
+func (s *Scheme) Partitions() uint64 { return s.pages }
+
+// PartitionExact implements wl.Partitionable: the coldest-page scan ranges
+// over the whole instance, so per-bank instances pick bank-local victims
+// and sample their own bank's write stream — the bank-local modeling
+// variant (DESIGN.md §15), not an exact decomposition.
+func (s *Scheme) PartitionExact() bool { return false }

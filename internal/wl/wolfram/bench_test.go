@@ -1,0 +1,15 @@
+package wolfram
+
+import (
+	"testing"
+
+	"nvmwear/internal/wl"
+	"nvmwear/internal/wl/wltest"
+)
+
+func BenchmarkAccess(b *testing.B) {
+	wltest.BenchAccess(b, func() wl.Leveler {
+		dev := wltest.BenchDevice(1 << 14)
+		return New(dev, Config{Lines: 1 << 14, Period: 8, Seed: 1})
+	})
+}

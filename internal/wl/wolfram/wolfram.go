@@ -1,0 +1,188 @@
+// Package wolfram implements a WoLFRaM-style wear-leveling scheme
+// [Gómez-Luna et al., WoLFRaM — see PAPERS.md]: a programmable resistive
+// address decoder (PRAD) remaps individual lines by reprogramming decoder
+// match entries, which makes remapping effectively free of indirection
+// tables — the decoder *is* the mapping.
+//
+// Wear leveling rides on that primitive: every Period demand writes, the
+// decoder swaps the just-written line with a uniformly random partner line
+// (write-access pattern randomization). Because remapping is line-granular
+// a swap moves just two lines, so the write overhead is 2/Period — far
+// finer than region- or page-granular schemes.
+//
+// WoLFRaM's second pitch is integrated fault tolerance: when the device
+// retires a worn or faulted line to a spare, the very same decoder entry
+// absorbs the replacement. This implementation models that by registering
+// an nvm retire hook and folding the device's spare remaps into the
+// scheme's Remaps counter — one indirection layer shared by wear leveling
+// and fault remapping, instead of a second table stacked on the spare area
+// (no TableWrites are charged, matching the decoder's in-place
+// reprogramming).
+package wolfram
+
+import (
+	"nvmwear/internal/addr"
+	"nvmwear/internal/nvm"
+	"nvmwear/internal/rng"
+	"nvmwear/internal/trace"
+	"nvmwear/internal/wl"
+)
+
+// Config parameterizes the scheme.
+type Config struct {
+	Lines  uint64 // logical lines (power of two)
+	Period uint64 // swap the written line with a random partner per Period demand writes
+	Seed   uint64
+}
+
+// Scheme is a wolfram instance bound to a device.
+type Scheme struct {
+	cfg Config
+	dev *nvm.Device
+
+	perm    []uint32 // logical line -> physical line (the decoder state)
+	inv     []uint32 // physical line -> logical line
+	counter uint64   // demand writes since the last swap
+	src     *rng.Source
+
+	stats wl.Stats
+}
+
+// New creates the scheme over dev and registers the retire hook that folds
+// the device's spare remaps into the decoder's remap accounting.
+func New(dev *nvm.Device, cfg Config) *Scheme {
+	if !addr.IsPow2(cfg.Lines) {
+		panic("wolfram: Lines must be a power of two")
+	}
+	if cfg.Period == 0 {
+		panic("wolfram: zero period")
+	}
+	if dev.Lines() < cfg.Lines {
+		panic("wolfram: device smaller than logical space")
+	}
+	s := &Scheme{
+		cfg:  cfg,
+		dev:  dev,
+		perm: make([]uint32, cfg.Lines),
+		inv:  make([]uint32, cfg.Lines),
+		src:  rng.New(cfg.Seed ^ 0x3fb9d0c5a7f1744d),
+	}
+	for i := uint64(0); i < cfg.Lines; i++ {
+		s.perm[i] = uint32(i)
+		s.inv[i] = uint32(i)
+	}
+	// Spare replacements reprogram the same decoder entries the wear
+	// leveler uses: count them as decoder remaps rather than modeling a
+	// second indirection over the spare area.
+	dev.SetRetireHook(func(uint64) { s.stats.Remaps++ })
+	return s
+}
+
+// Translate implements wl.Leveler.
+func (s *Scheme) Translate(lma uint64) uint64 { return uint64(s.perm[lma]) }
+
+// Access implements wl.Leveler.
+func (s *Scheme) Access(op trace.Op, lma uint64) uint64 {
+	pma := s.Translate(lma)
+	if op == trace.Read {
+		s.stats.DataReads++
+		s.dev.Read(pma)
+		return pma
+	}
+	s.stats.DataWrites++
+	s.dev.Write(pma)
+	s.counter++
+	if s.counter >= s.cfg.Period {
+		s.counter = 0
+		s.swap(lma)
+	}
+	return pma
+}
+
+// AccessBatch implements wl.BatchLeveler. The mapping only changes at a
+// swap, and the swap interval is a global write counter, so a run of
+// identical writes folds into one nvm.WriteRun bounded by the distance to
+// the next swap.
+func (s *Scheme) AccessBatch(ops []trace.Op, addrs []uint64) int {
+	n := len(ops)
+	i := 0
+	for i < n {
+		if !s.dev.Alive() {
+			return i
+		}
+		op, lma := ops[i], addrs[i]
+		j := i + 1
+		for j < n && ops[j] == op && addrs[j] == lma {
+			j++
+		}
+		c := uint64(j - i)
+		if op == trace.Read {
+			issued := s.dev.ReadRun(s.Translate(lma), c)
+			s.stats.DataReads += issued
+			i += int(issued)
+			continue
+		}
+		if d := s.cfg.Period - s.counter; d < c {
+			c = d
+		}
+		served := s.dev.WriteRun(s.Translate(lma), c)
+		applied := c
+		if served < c {
+			applied = served + 1 // the killing write's bookkeeping still runs
+		}
+		s.stats.DataWrites += applied
+		s.counter += applied
+		if s.counter >= s.cfg.Period {
+			s.counter = 0
+			s.swap(lma)
+		}
+		i += int(applied)
+	}
+	return n
+}
+
+// Advance implements wl.BatchLeveler: epochs sized from the swap interval.
+func (s *Scheme) Advance(k int) int { return wl.ClampEpoch(s.cfg.Period, k) }
+
+// swap exchanges the just-written logical line with a uniformly random
+// partner by reprogramming their two decoder entries. A self-partner draw
+// reprograms the entry onto itself: no data moves.
+func (s *Scheme) swap(lma uint64) {
+	s.stats.Remaps++
+	partner := s.src.Uint64n(s.cfg.Lines)
+	if partner == lma {
+		return
+	}
+	pa, pb := uint64(s.perm[lma]), uint64(s.perm[partner])
+	da := s.dev.ReadData(pa)
+	db := s.dev.ReadData(pb)
+	s.perm[lma], s.perm[partner] = s.perm[partner], s.perm[lma]
+	s.inv[pa], s.inv[pb] = s.inv[pb], s.inv[pa]
+	s.dev.WriteData(pb, da)
+	s.dev.WriteData(pa, db)
+	s.stats.SwapWrites += 2
+}
+
+// Lines implements wl.Leveler.
+func (s *Scheme) Lines() uint64 { return s.cfg.Lines }
+
+// Name implements wl.Leveler.
+func (s *Scheme) Name() string { return "WoLFRaM" }
+
+// Stats implements wl.Leveler.
+func (s *Scheme) Stats() wl.Stats { return s.stats }
+
+// OverheadBits implements wl.Leveler: the mapping lives *in* the address
+// decoder, not in a table the controller must carry; the only conventional
+// state is the swap counter and period register.
+func (s *Scheme) OverheadBits() uint64 { return 64 }
+
+// Partitions implements wl.Partitionable: the decoder remaps single lines,
+// so any line-aligned device slice is a closed address space.
+func (s *Scheme) Partitions() uint64 { return s.cfg.Lines }
+
+// PartitionExact implements wl.Partitionable: swap partners are drawn
+// uniformly over the whole instance's lines, so per-bank instances draw
+// bank-local partners from their own seed substream — the bank-local
+// modeling variant (DESIGN.md §15), not an exact decomposition.
+func (s *Scheme) PartitionExact() bool { return false }

@@ -3,10 +3,13 @@
 // Self-adaptive Wear Leveling" (Huang, Hua, Zuo, Zhou, Huang — ICPP 2020).
 //
 // The library models an MLC NVM main memory with per-line endurance and
-// spare lines, seven wear-leveling schemes (the no-op Baseline, Segment
-// Swapping, Start-Gap/RBSG, two-level Security Refresh, PCM-S, MWSR, the
-// naive tiered NWL, and the paper's SAWL), attack and SPEC-like workload
-// generators, a lifetime measurement engine and a timing/IPC simulator.
+// spare lines under pluggable wear models (uniform, process variation,
+// compression-aware — see nvm.WearModel), eleven wear-leveling schemes (the
+// no-op Baseline, Segment Swapping, Start-Gap/RBSG, two-level Security
+// Refresh, PCM-S, MWSR, the naive tiered NWL, the paper's SAWL, the
+// software-only SoftWear and the decoder-level WoLFRaM), attack and
+// SPEC-like workload generators, a lifetime measurement engine and a
+// timing/IPC simulator.
 //
 // Quick start:
 //
@@ -38,7 +41,9 @@ import (
 	"nvmwear/internal/wl/pcms"
 	"nvmwear/internal/wl/secref"
 	"nvmwear/internal/wl/segswap"
+	"nvmwear/internal/wl/softwear"
 	"nvmwear/internal/wl/startgap"
+	"nvmwear/internal/wl/wolfram"
 	"nvmwear/internal/workload"
 )
 
@@ -56,11 +61,31 @@ const (
 	MWSR        SchemeKind = "mwsr"     // hybrid multi-way [Yu & Du TC'14]
 	NWL         SchemeKind = "nwl"      // naive tiered (fixed granularity)
 	SAWL        SchemeKind = "sawl"     // the paper's contribution
+	SoftWear    SchemeKind = "softwear" // software-only sampled page remapping [PAPERS.md]
+	WoLFRaM     SchemeKind = "wolfram"  // programmable-address-decoder swaps [PAPERS.md]
 )
 
-// Schemes lists every scheme kind in evaluation order.
+// Schemes lists every scheme kind in evaluation order. The related-work
+// schemes (softwear, wolfram) follow the paper's original catalogue so the
+// historical figure orderings — and their goldens — are unchanged.
 func Schemes() []SchemeKind {
-	return []SchemeKind{Baseline, SegmentSwap, StartGap, RBSG, TLSR, PCMS, MWSR, NWL, SAWL}
+	return []SchemeKind{Baseline, SegmentSwap, StartGap, RBSG, TLSR, PCMS, MWSR, NWL, SAWL, SoftWear, WoLFRaM}
+}
+
+// WearModels lists the selectable wear-model names, in flag-help order.
+func WearModels() []string { return nvm.WearModelNames() }
+
+// CheckWearModel validates a wear-model name before a run starts (the
+// -wear flag, serve's config): empty means "keep the historical default"
+// and is always valid.
+func CheckWearModel(name string) error {
+	if name == "" {
+		return nil
+	}
+	if _, err := nvm.WearModelByName(name); err != nil {
+		return fmt.Errorf("nvmwear: %w", err)
+	}
+	return nil
 }
 
 // SystemConfig describes a simulated NVM system: the device plus one
@@ -74,11 +99,18 @@ type SystemConfig struct {
 	Endurance  uint32  // per-cell write limit Wmax (default 10000)
 	Variation  float64 // optional endurance process variation (CoV)
 
+	// Wear selects the device's per-line wear model by name ("uniform",
+	// "variation", "compress"; see nvm.WearModelByName). Empty keeps the
+	// historical default: variation wear when Variation > 0, uniform
+	// otherwise.
+	Wear string
+
 	// Shared scheme knobs.
-	RegionLines uint64 // Q for segswap/pcms/mwsr (default 4)
-	Regions     uint64 // region count for rbsg/tlsr (default 1024)
-	Period      uint64 // swapping period ψ (default 128)
-	OuterPeriod uint64 // TLSR outer period (default 32)
+	RegionLines  uint64 // Q for segswap/pcms/mwsr, page size for softwear (default 4)
+	Regions      uint64 // region count for rbsg/tlsr (default 1024)
+	Period       uint64 // swapping period ψ (default 128)
+	OuterPeriod  uint64 // TLSR outer period (default 32)
+	SamplePeriod uint64 // softwear write-sampling period S (default 8)
 
 	// Tiered-scheme knobs (NWL/SAWL).
 	InitGran     uint64 // P (default 4; use 64 for NWL-64)
@@ -143,6 +175,9 @@ func (c SystemConfig) withDefaults() SystemConfig {
 	if c.OuterPeriod == 0 {
 		c.OuterPeriod = 32
 	}
+	if c.SamplePeriod == 0 {
+		c.SamplePeriod = 8
+	}
 	if c.InitGran == 0 {
 		c.InitGran = 4
 	}
@@ -196,11 +231,20 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		extra = coreCfg.DeviceLines() - cfg.Lines
 	}
 
+	var wear nvm.WearModel // nil = the historical Variation-driven default
+	if cfg.Wear != "" {
+		var err error
+		if wear, err = nvm.WearModelByName(cfg.Wear); err != nil {
+			return nil, fmt.Errorf("nvmwear: %w", err)
+		}
+	}
+
 	dev := nvm.New(nvm.Config{
 		Lines:        cfg.Lines + extra,
 		SpareLines:   cfg.SpareLines,
 		Endurance:    cfg.Endurance,
 		Variation:    cfg.Variation,
+		Wear:         wear,
 		Seed:         cfg.Seed,
 		TrackData:    cfg.TrackData,
 		Fault:        cfg.Fault,
@@ -241,6 +285,15 @@ func NewSystem(cfg SystemConfig) (*System, error) {
 		})
 	case NWL, SAWL:
 		lv = core.New(dev, coreCfg)
+	case SoftWear:
+		lv = softwear.New(dev, softwear.Config{
+			Lines: cfg.Lines, PageLines: cfg.RegionLines,
+			SamplePeriod: cfg.SamplePeriod, Trigger: cfg.Period,
+		})
+	case WoLFRaM:
+		lv = wolfram.New(dev, wolfram.Config{
+			Lines: cfg.Lines, Period: cfg.Period, Seed: cfg.Seed,
+		})
 	default:
 		return nil, fmt.Errorf("nvmwear: unknown scheme %q", cfg.Scheme)
 	}

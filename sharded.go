@@ -115,6 +115,22 @@ func PlanShards(cfg SystemConfig, w WorkloadSpec, requested int) ShardPlan {
 		if uint64(cfg.CMTEntries) < s {
 			return serial(fmt.Sprintf("%d CMT entries cannot split %d ways", cfg.CMTEntries, s))
 		}
+	case SoftWear:
+		// Bank-local sampling and coldest-frame scans: shards must align to
+		// page boundaries and keep at least two pages so a bank's hot page
+		// still has a cold frame to move to.
+		if perShard%cfg.RegionLines != 0 {
+			return serial(fmt.Sprintf("shard of %d lines does not align to the %d-line page", perShard, cfg.RegionLines))
+		}
+		if perShard/cfg.RegionLines < 2 {
+			return serial(fmt.Sprintf("a %d-page bank has no swap victim", perShard/cfg.RegionLines))
+		}
+	case WoLFRaM:
+		// Bank-local decoder swaps at line granularity: any line-divisible
+		// slice with at least two lines keeps a partner to swap with.
+		if perShard < 2 {
+			return serial(fmt.Sprintf("a %d-line bank has no swap partner", perShard))
+		}
 	default:
 		return serial(fmt.Sprintf("scheme %q has no shard analysis", cfg.Scheme))
 	}
@@ -261,6 +277,9 @@ func newSharder(sc Scale) *sharder { return &sharder{sc: sc, seen: map[string]bo
 // run executes one lifetime job under the sweep's shard policy, logging
 // any serial fallback once per (scheme, reason).
 func (s *sharder) run(cfg SystemConfig, w WorkloadSpec, maxWrites uint64) (LifetimeResult, error) {
+	if cfg.Wear == "" {
+		cfg.Wear = s.sc.WearModel
+	}
 	res, plan, err := RunShardedLifetime(cfg, w, maxWrites, ShardedRunOptions{
 		Shards:  s.sc.Shards,
 		Context: s.sc.Context,

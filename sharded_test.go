@@ -68,6 +68,10 @@ func TestPlanShards(t *testing.T) {
 		{"nwl shards", attackConfig(NWL), bpaSpec(), 4, 4, false},
 		{"sawl misaligned max region", attackConfig(SAWL), bpaSpec(), 32, 1, true}, // 128-line shard < 256-line max region
 		{"sawl cmt too small", SystemConfig{Scheme: SAWL, Lines: 1 << 12, SpareLines: 64, Endurance: 100, CMTEntries: 2}, bpaSpec(), 4, 1, true},
+		{"softwear shards bank-local sampling", attackConfig(SoftWear), bpaSpec(), 4, 4, false},
+		{"softwear one-page bank", SystemConfig{Scheme: SoftWear, Lines: 1 << 10, SpareLines: 64, Endurance: 100, RegionLines: 128}, bpaSpec(), 8, 1, true},
+		{"softwear misaligned page", SystemConfig{Scheme: SoftWear, Lines: 1 << 12, SpareLines: 64, Endurance: 100, RegionLines: 384}, bpaSpec(), 4, 1, true},
+		{"wolfram shards bank-local swaps", attackConfig(WoLFRaM), bpaSpec(), 4, 4, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
@@ -87,7 +91,7 @@ func TestPlanShards(t *testing.T) {
 // instance cannot partition would simulate something else entirely (the
 // runner double-checks at build time; this pins the table itself).
 func TestPlanShardsAgreesWithPartitionable(t *testing.T) {
-	for _, scheme := range []SchemeKind{Baseline, SegmentSwap, StartGap, RBSG, TLSR, PCMS, MWSR, NWL, SAWL} {
+	for _, scheme := range Schemes() {
 		cfg := attackConfig(scheme)
 		sys, err := NewSystem(cfg)
 		if err != nil {
